@@ -1,0 +1,188 @@
+package casvm
+
+// Component micro-benchmarks: the SMO solver, the kernel primitives, the
+// message-passing collectives and the partitioners. These quantify the
+// building blocks the per-table benchmarks compose.
+
+import (
+	"math/rand"
+	"testing"
+
+	"casvm/internal/data"
+	"casvm/internal/kernel"
+	"casvm/internal/kmeans"
+	"casvm/internal/la"
+	"casvm/internal/mpi"
+	"casvm/internal/partition"
+	"casvm/internal/perfmodel"
+	"casvm/internal/smo"
+)
+
+func benchDataset(b *testing.B, m int) *data.Dataset {
+	b.Helper()
+	d, err := data.Generate(data.MixtureSpec{
+		Name: "bench", Train: m, Test: 0, Features: 32, Clusters: 4,
+		Separation: 7, Noise: 1, PosFrac: []float64{0.5}, LabelNoise: 0.02,
+		Margin: 0.8, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func BenchmarkSMOSolve1k(b *testing.B) {
+	d := benchDataset(b, 1000)
+	cfg := smo.Config{C: 1, Kernel: kernel.RBF(1.0 / 64)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := smo.Solve(d.X, d.Y, cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSMOIteration(b *testing.B) {
+	d := benchDataset(b, 2000)
+	cfg := smo.Config{C: 1, Kernel: kernel.RBF(1.0 / 64)}
+	s, err := smo.New(d.X, d.Y, cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Step() {
+			b.StopTimer()
+			s, _ = smo.New(d.X, d.Y, cfg, nil) // converged: restart
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkKernelRowDense(b *testing.B) {
+	d := benchDataset(b, 2000)
+	p := kernel.RBF(1.0 / 64)
+	dst := make([]float64, d.M())
+	b.ReportAllocs()
+	b.SetBytes(int64(8 * d.M() * d.Features()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Row(d.X, i%d.M(), dst)
+	}
+}
+
+func BenchmarkKernelRowCache(b *testing.B) {
+	d := benchDataset(b, 2000)
+	c := kernel.NewRowCache(kernel.RBF(1.0/64), d.X, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Row(i % 128) // working set smaller than capacity: mostly hits
+	}
+}
+
+func BenchmarkAllreduce8Ranks(b *testing.B) {
+	w := mpi.NewWorld(8, perfmodel.Hopper(), 1)
+	payload := make([]float64, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	err := w.Run(func(c *mpi.Comm) error {
+		for i := 0; i < b.N; i++ {
+			c.AllreduceSum(payload)
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkBcast64Ranks(b *testing.B) {
+	w := mpi.NewWorld(64, perfmodel.Hopper(), 1)
+	payload := make([]byte, 4096)
+	b.ResetTimer()
+	err := w.Run(func(c *mpi.Comm) error {
+		for i := 0; i < b.N; i++ {
+			var in []byte
+			if c.Rank() == 0 {
+				in = payload
+			}
+			c.Bcast(0, in)
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkKMeans(b *testing.B) {
+	d := benchDataset(b, 2000)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kmeans.Run(d.X, kmeans.Seed(d.X, 8, rng), 0, 0)
+	}
+}
+
+func BenchmarkPartitionFCFS(b *testing.B) {
+	d := benchDataset(b, 2000)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.FCFS(d.X, d.Y, 8, partition.Options{RatioBalanced: true}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionBKM(b *testing.B) {
+	d := benchDataset(b, 2000)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.BalancedKMeans(d.X, d.Y, 8, partition.Options{}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictRouted(b *testing.B) {
+	ds, entry, err := LoadDataset("toy", 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := DefaultParams(MethodRACA, 8)
+	p.Kernel = RBF(entry.GammaOrDefault())
+	out, _, err := TrainDataset(ds, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.Set.Predict(ds.TestX, i%ds.TestX.Rows())
+	}
+}
+
+func BenchmarkWireEncodeDecode(b *testing.B) {
+	d := benchDataset(b, 1000)
+	rows := make([]int, d.M())
+	for i := range rows {
+		rows[i] = i
+	}
+	b.SetBytes(int64(d.X.EncodedSize(rows)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := d.X.EncodeRows(rows)
+		if _, err := la.DecodeMatrix(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package casvm
+
+// One benchmark per paper table and figure. Each bench drives the same
+// runner that cmd/casvm-bench uses, at a reduced dataset scale so the suite
+// finishes quickly; run the command with -scale 1 for paper-size numbers:
+//
+//	go test -bench=. -benchmem
+//	go run ./cmd/casvm-bench -exp all            # full-size reports
+//
+// Component micro-benchmarks (SMO iteration, kernel rows, allreduce,
+// partitioners) live in bench_components_test.go.
+
+import (
+	"io"
+	"testing"
+
+	"casvm/internal/expt"
+)
+
+// benchConfig is the reduced-scale configuration used by the per-table
+// benchmarks.
+func benchConfig() expt.Config {
+	return expt.Config{Out: io.Discard, Scale: 0.15, P: 8, MaxP: 16}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, err := expt.Find(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable03_Iterations(b *testing.B)        { benchExperiment(b, "table3") }
+func BenchmarkTable04_Isoefficiency(b *testing.B)     { benchExperiment(b, "table4") }
+func BenchmarkTable05_CascadeProfile(b *testing.B)    { benchExperiment(b, "table5") }
+func BenchmarkTable06_FCFSLoad(b *testing.B)          { benchExperiment(b, "table6") }
+func BenchmarkTable07_FCFSRatios(b *testing.B)        { benchExperiment(b, "table7") }
+func BenchmarkTable08_RatioBalanced(b *testing.B)     { benchExperiment(b, "table8") }
+func BenchmarkTable09_BalancedLoad(b *testing.B)      { benchExperiment(b, "table9") }
+func BenchmarkTable10_CommVolume(b *testing.B)        { benchExperiment(b, "table10") }
+func BenchmarkTable11_CommEfficiency(b *testing.B)    { benchExperiment(b, "table11") }
+func BenchmarkTable12_Datasets(b *testing.B)          { benchExperiment(b, "table12") }
+func BenchmarkTable13_Adult(b *testing.B)             { benchExperiment(b, "table13") }
+func BenchmarkTable14_Face(b *testing.B)              { benchExperiment(b, "table14") }
+func BenchmarkTable15_Gisette(b *testing.B)           { benchExperiment(b, "table15") }
+func BenchmarkTable16_Ijcnn(b *testing.B)             { benchExperiment(b, "table16") }
+func BenchmarkTable17_Usps(b *testing.B)              { benchExperiment(b, "table17") }
+func BenchmarkTable18_Webspam(b *testing.B)           { benchExperiment(b, "table18") }
+func BenchmarkTable19_StrongScalingTime(b *testing.B) { benchExperiment(b, "table19") }
+func BenchmarkTable20_StrongScalingEff(b *testing.B)  { benchExperiment(b, "table20") }
+func BenchmarkTable21_WeakScalingTime(b *testing.B)   { benchExperiment(b, "table21") }
+func BenchmarkTable22_WeakScalingEff(b *testing.B)    { benchExperiment(b, "table22") }
+func BenchmarkFig05_PartitionSizes(b *testing.B)      { benchExperiment(b, "fig5") }
+func BenchmarkFig07_LoadBalance(b *testing.B)         { benchExperiment(b, "fig7") }
+func BenchmarkFig08_CommPattern(b *testing.B)         { benchExperiment(b, "fig8") }
+func BenchmarkFig09_CommRatio(b *testing.B)           { benchExperiment(b, "fig9") }

@@ -1,0 +1,60 @@
+// casvm-bench regenerates the paper's tables and figures from this
+// repository's implementation.
+//
+// Usage:
+//
+//	casvm-bench -exp table13            # one experiment
+//	casvm-bench -exp all -scale 0.5     # everything, half-size datasets
+//	casvm-bench -list                   # what exists
+//
+// Experiment ids follow the paper: table3..table22, fig5, fig7, fig8, fig9.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"casvm/internal/expt"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (table3..table22, fig5, fig7, fig8, fig9, all)")
+		scale = flag.Float64("scale", 1.0, "dataset scale multiplier")
+		p     = flag.Int("p", 8, "ranks for the fixed-size experiments")
+		maxP  = flag.Int("maxp", 64, "largest rank count in the scaling sweeps")
+		seed  = flag.Int64("seed", 1, "run seed")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range expt.Runners() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "casvm-bench: -exp is required (or -list)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := expt.Config{Out: os.Stdout, Scale: *scale, P: *p, MaxP: *maxP, Seed: *seed}
+	if *exp == "all" {
+		if err := expt.RunAll(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "casvm-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	r, err := expt.Find(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "casvm-bench:", err)
+		os.Exit(2)
+	}
+	if err := expt.RunOne(r, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "casvm-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,56 @@
+// casvm-predict classifies a LIBSVM-format file with a saved casvm model
+// set, printing one ±1 prediction per line and, when the file carries
+// labels, the accuracy.
+//
+// Usage:
+//
+//	casvm-predict -model out.model -file test.svm
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"casvm"
+)
+
+func main() {
+	var (
+		modelP = flag.String("model", "casvm.model", "model path")
+		file   = flag.String("file", "", "LIBSVM-format input file")
+		quiet  = flag.Bool("quiet", false, "suppress per-sample output")
+	)
+	flag.Parse()
+	if *file == "" {
+		fail(fmt.Errorf("-file is required"))
+	}
+	set, err := casvm.LoadModelSet(*modelP)
+	if err != nil {
+		fail(err)
+	}
+	ds, err := casvm.DatasetFromLIBSVM(*file, set.Centers.Features())
+	if err != nil {
+		fail(err)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	correct := 0
+	for i := 0; i < ds.X.Rows(); i++ {
+		pred := set.Predict(ds.X, i)
+		if !*quiet {
+			fmt.Fprintf(w, "%+.0f\n", pred)
+		}
+		if pred == ds.Y[i] {
+			correct++
+		}
+	}
+	fmt.Fprintf(w, "accuracy: %.2f%% (%d/%d)\n",
+		100*float64(correct)/float64(ds.X.Rows()), correct, ds.X.Rows())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "casvm-predict:", err)
+	os.Exit(1)
+}

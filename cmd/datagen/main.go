@@ -1,0 +1,52 @@
+// datagen emits the synthetic benchmark datasets in LIBSVM text format so
+// they can be fed to other SVM tools (or back into casvm-train -file).
+//
+// Usage:
+//
+//	datagen -data face -scale 0.5 -out face.svm -test face.t.svm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"casvm"
+)
+
+func main() {
+	var (
+		dataset = flag.String("data", "", "named synthetic dataset")
+		scale   = flag.Float64("scale", 1.0, "dataset scale")
+		out     = flag.String("out", "", "training output path (required)")
+		test    = flag.String("test", "", "held-out output path (optional)")
+	)
+	flag.Parse()
+	if *dataset == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "datagen: -data and -out are required; datasets:")
+		for _, n := range casvm.DatasetNames() {
+			fmt.Fprintln(os.Stderr, "  ", n)
+		}
+		os.Exit(2)
+	}
+	ds, _, err := casvm.LoadDataset(*dataset, *scale)
+	if err != nil {
+		fail(err)
+	}
+	if err := casvm.WriteLIBSVMFile(*out, ds); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %d×%d training samples to %s\n", ds.M(), ds.Features(), *out)
+	if *test != "" && ds.TestX != nil {
+		td := &casvm.Dataset{Name: ds.Name + "-test", X: ds.TestX, Y: ds.TestY}
+		if err := casvm.WriteLIBSVMFile(*test, td); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d held-out samples to %s\n", ds.TestX.Rows(), *test)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+package casvm_test
+
+import (
+	"fmt"
+
+	"casvm"
+)
+
+// Train CA-SVM (RA-CA) on a small synthetic problem and classify.
+func ExampleTrain() {
+	ds, err := casvm.GenerateDataset(casvm.MixtureSpec{
+		Name: "demo", Train: 400, Test: 100, Features: 4, Clusters: 2,
+		Separation: 8, Noise: 1, PosFrac: []float64{0.5}, Margin: 0.5, Seed: 7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	p := casvm.DefaultParams(casvm.MethodRACA, 4)
+	p.Kernel = casvm.RBF(0.125)
+	out, err := casvm.Train(ds.X, ds.Y, p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("models:", out.Set.P())
+	fmt.Println("training network bytes:", out.Stats.CommBytes)
+	fmt.Println("accuracy ≥ 0.9:", out.Set.Accuracy(ds.TestX, ds.TestY) >= 0.9)
+	// Output:
+	// models: 4
+	// training network bytes: 0
+	// accuracy ≥ 0.9: true
+}
+
+// Compare two methods on the same dataset.
+func ExampleTrainDataset() {
+	ds, entry, err := casvm.LoadDataset("toy", 0.5)
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range []casvm.Method{casvm.MethodDisSMO, casvm.MethodRACA} {
+		p := casvm.DefaultParams(m, 4)
+		p.Kernel = casvm.RBF(entry.GammaOrDefault())
+		out, _, err := casvm.TrainDataset(ds, p)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s zero-comm: %v\n", m, out.Stats.CommBytes == 0)
+	}
+	// Output:
+	// dissmo zero-comm: false
+	// ra-ca zero-comm: true
+}
+
+// K-class problems reduce to independent binary CA-SVMs (§II-A).
+func ExampleTrainMulticlass() {
+	trainX, trainY, testX, testY, err := casvm.GenerateMulticlassDataset(casvm.MixtureSpec{
+		Name: "mc", Train: 300, Test: 100, Features: 4, Clusters: 3,
+		Separation: 9, Noise: 1, Seed: 3,
+	}, 3)
+	if err != nil {
+		panic(err)
+	}
+	p := casvm.DefaultParams(casvm.MethodRACA, 2)
+	p.Kernel = casvm.RBF(0.125)
+	m, err := casvm.TrainMulticlass(trainX, trainY, p, casvm.OneVsRest)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("binary machines:", m.Machines())
+	fmt.Println("accuracy ≥ 0.9:", m.Accuracy(testX, testY) >= 0.9)
+	// Output:
+	// binary machines: 3
+	// accuracy ≥ 0.9: true
+}

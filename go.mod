@@ -1,0 +1,3 @@
+module casvm
+
+go 1.22

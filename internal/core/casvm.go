@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"casvm/internal/la"
+	"casvm/internal/mpi"
+	"casvm/internal/partition"
+	"casvm/internal/smo"
+)
+
+// trainCASVM implements the communication-avoiding family (§IV-B):
+//
+//	FCFS-CA — parallel First-Come-First-Served partitioning (Alg 4)
+//	BKM-CA  — distributed balanced K-means (Alg 5, parallelised)
+//	RA-CA   — random-averaging: keep the local block, no communication
+//
+// Under PlacementDistributed (casvm2), each node starts with its block in
+// place; RA-CA then moves zero bytes over the network — the defining
+// property of CA-SVM. Under PlacementRoot (casvm1) the run begins with a
+// scatter from rank 0 (the Fig 9 comparison).
+func trainCASVM(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params, out *rankResult) error {
+	var local part
+	var err error
+	if p.Placement == PlacementRoot {
+		if local, err = scatterBlocks(c, full, fullY); err != nil {
+			return err
+		}
+	} else {
+		// casvm2: the block is already resident on this node. Pull it
+		// from the shared input without any message traffic, modelling
+		// data generated or stored in place.
+		rows := evenBlocks(full.Rows(), c.Size())[c.Rank()]
+		local = part{x: full.Subset(rows), y: subsetF64(fullY, rows)}
+	}
+
+	opts := partition.Options{RatioBalanced: p.RatioBalanced}
+	switch p.Method {
+	case MethodFCFSCA:
+		pr, err := partition.ParallelFCFS(c, local.x, local.y, opts)
+		if err != nil {
+			return err
+		}
+		if local, err = regroup(c, local, pr.Assign); err != nil {
+			return err
+		}
+		out.center = append([]float64(nil), pr.Centers.DenseRow(c.Rank())...)
+	case MethodBKMCA:
+		pr, kmIters, err := partition.ParallelBKM(c, local.x, local.y, opts, p.KMeansMaxIter)
+		if err != nil {
+			return err
+		}
+		out.kmIters = kmIters
+		if local, err = regroup(c, local, pr.Assign); err != nil {
+			return err
+		}
+		out.center = append([]float64(nil), pr.Centers.DenseRow(c.Rank())...)
+	case MethodRACA:
+		// The resident block IS the random partition (the dataset is
+		// shuffled); the center is the block mean (eqn 14). Zero
+		// communication under casvm2.
+		out.center = local.x.Mean(nil)
+		c.Charge(float64(local.x.NNZ()))
+	default:
+		return fmt.Errorf("core: trainCASVM got %q", p.Method)
+	}
+	out.partSize = local.x.Rows()
+	out.initSec = c.Clock()
+
+	res, err := smo.Solve(local.x, local.y, p.solverConfig(), nil)
+	if err != nil {
+		return err
+	}
+	c.Charge(res.Flops)
+	out.iters = res.Iters
+	out.local = localModel(local.x, local.y, res, p.Kernel)
+	out.svs = out.local.NSV()
+	out.fillClassCounts(local.y, res.Alpha)
+	out.trainSec = c.Clock() - out.initSec
+	return nil
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+
+	"casvm/internal/la"
+	"casvm/internal/model"
+	"casvm/internal/mpi"
+	"casvm/internal/smo"
+)
+
+// trainDisSMO implements Cao et al.'s distributed SMO. The samples are
+// block-partitioned over the ranks. Every iteration:
+//
+//  1. each rank scans its local f for the extreme KKT violators,
+//  2. two Allreduce-with-location operations pick the global (high, low)
+//     pair (the 14·logP·ts term of eqn 9),
+//  3. the owners broadcast the two active samples with their labels and
+//     multipliers (the 2n·logP·tw term),
+//  4. every rank evaluates the identical clipped pair update and applies
+//     it to its local f (the 2mn/P compute term).
+//
+// The result is bitwise the trajectory of serial SMO on the full set, up to
+// the float32 wire rounding of the initial scatter.
+func trainDisSMO(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params, out *rankResult) error {
+	local, err := scatterBlocks(c, full, fullY)
+	if err != nil {
+		return err
+	}
+	out.partSize = local.x.Rows()
+	out.initSec = c.Clock()
+
+	solver, err := smo.New(local.x, local.y, p.solverConfig(), nil)
+	if err != nil {
+		return err
+	}
+	maxIter := p.MaxIter
+	if maxIter <= 0 {
+		totalM := c.AllreduceSumInt([]int{local.x.Rows()})[0]
+		maxIter = 100*totalM + 10000
+	}
+	tol := p.Tol
+	if tol <= 0 {
+		tol = 1e-3
+	}
+
+	buf := make([]float64, local.x.Rows())
+	iters := 0
+	for iters < maxIter {
+		bh, ih, bl, il := solver.LocalExtremes()
+		c.Charge(solver.TakeFlops())
+		high := c.AllreduceMinLoc(bh, ih)
+		low := c.AllreduceMaxLoc(bl, il)
+		if low.Val-high.Val < 2*tol || high.Index < 0 || low.Index < 0 {
+			break
+		}
+		// Owners broadcast the active samples: row + y + α.
+		highP := bcastActive(c, solver, local, int(high.Rank), int(high.Index))
+		lowP := bcastActive(c, solver, local, int(low.Rank), int(low.Index))
+
+		// Identical update arithmetic on every rank.
+		khh := p.Kernel.Eval(highP.x, 0, highP.x, 0)
+		kll := p.Kernel.Eval(lowP.x, 0, lowP.x, 0)
+		khl := p.Kernel.Eval(highP.x, 0, lowP.x, 0)
+		ch, cl := p.C, p.C
+		if p.PosWeight > 0 {
+			if highP.y[0] > 0 {
+				ch = p.C * p.PosWeight
+			}
+			if lowP.y[0] > 0 {
+				cl = p.C * p.PosWeight
+			}
+		}
+		dah, dal := smo.PairSolveWeighted(ch, cl, highP.y[0], lowP.y[0], high.Val, low.Val,
+			highP.alpha[0], lowP.alpha[0], khh, kll, khl)
+		if dah == 0 && dal == 0 {
+			break // numerically stuck pair; matches the serial guard
+		}
+		if c.Rank() == int(high.Rank) {
+			solver.AddAlpha(int(high.Index), dah)
+		}
+		if c.Rank() == int(low.Rank) {
+			solver.AddAlpha(int(low.Index), dal)
+		}
+		solver.ApplyExternalUpdate(highP.x, 0, highP.y[0], dah, buf)
+		solver.ApplyExternalUpdate(lowP.x, 0, lowP.y[0], dal, buf)
+		c.Charge(solver.TakeFlops())
+		iters++
+	}
+	out.iters = iters
+	out.trainSec = c.Clock() - out.initSec
+
+	// Assemble the global model at rank 0: gather (SV rows, y, α, local
+	// bHigh/bLow contributions).
+	svRows := []int{}
+	for i, a := range solver.Alpha() {
+		if a > 0 {
+			svRows = append(svRows, i)
+		}
+	}
+	payload := packSections(
+		encodePart(local.x, local.y, solver.Alpha(), svRows),
+		encodeBias(solver),
+	)
+	gathered := c.Gatherv(0, payload)
+	if c.Rank() != 0 {
+		return nil
+	}
+	parts := make([]part, 0, c.Size())
+	bHigh, bLow := math.Inf(1), math.Inf(-1)
+	for _, g := range gathered {
+		secs, err := unpackSections(g)
+		if err != nil {
+			return err
+		}
+		q, err := decodePart(secs[0])
+		if err != nil {
+			return err
+		}
+		parts = append(parts, q)
+		h, l := decodeBias(secs[1])
+		if h < bHigh {
+			bHigh = h
+		}
+		if l > bLow {
+			bLow = l
+		}
+	}
+	merged := mergeParts(parts)
+	bias := 0.0
+	switch {
+	case !math.IsInf(bHigh, 1) && !math.IsInf(bLow, -1):
+		bias = (bHigh + bLow) / 2
+	case !math.IsInf(bHigh, 1):
+		bias = bHigh
+	case !math.IsInf(bLow, -1):
+		bias = bLow
+	}
+	out.local = model.FromSolution(merged.x, merged.y, merged.alpha, bias, p.Kernel)
+	out.svs = out.local.NSV()
+	return nil
+}
+
+// bcastActive broadcasts (sample row, label, α) of the owner's local index
+// as a 1-row part.
+func bcastActive(c *mpi.Comm, solver *smo.Solver, local part, owner, index int) part {
+	var payload []byte
+	if c.Rank() == owner {
+		payload = encodePart(local.x, local.y, solver.Alpha(), []int{index})
+	}
+	payload = c.Bcast(owner, payload)
+	q, err := decodePart(payload)
+	if err != nil {
+		panic("core: bcastActive: " + err.Error())
+	}
+	return q
+}
+
+// encodeBias packs the rank's local (bHigh, bLow) thresholds.
+func encodeBias(solver *smo.Solver) []byte {
+	bh, ih, bl, il := solver.LocalExtremes()
+	if ih < 0 {
+		bh = math.Inf(1)
+	}
+	if il < 0 {
+		bl = math.Inf(-1)
+	}
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(bh))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(bl))
+	return buf
+}
+
+func decodeBias(b []byte) (bHigh, bLow float64) {
+	bHigh = math.Float64frombits(binary.LittleEndian.Uint64(b))
+	bLow = math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+	return
+}

@@ -1,0 +1,67 @@
+package core
+
+import "testing"
+
+func TestCascadeTwoPasses(t *testing.T) {
+	d := testSet(t, 480)
+	one := paramsFor(MethodCascade, 8, d)
+	two := paramsFor(MethodCascade, 8, d)
+	two.CascadePasses = 2
+
+	outOne, err := Train(d.X, d.Y, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outTwo, err := Train(d.X, d.Y, two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two passes double the layer profile.
+	if len(outTwo.Stats.Layers) != 2*len(outOne.Stats.Layers) {
+		t.Errorf("layers: 1-pass %d, 2-pass %d", len(outOne.Stats.Layers), len(outTwo.Stats.Layers))
+	}
+	// The paper's observation: a second pass rarely improves the result.
+	accOne := outOne.Set.Accuracy(d.TestX, d.TestY)
+	accTwo := outTwo.Set.Accuracy(d.TestX, d.TestY)
+	if accTwo < accOne-0.03 {
+		t.Errorf("second pass lost accuracy: %.3f -> %.3f", accOne, accTwo)
+	}
+	// Pass 2's first layer trains on TD_i ∪ SV: more samples per node
+	// than pass 1's first layer.
+	l1 := outTwo.Stats.Layers[0].Nodes[0].Samples
+	l5 := outTwo.Stats.Layers[len(outOne.Stats.Layers)].Nodes[0].Samples
+	if l5 <= l1 {
+		t.Errorf("pass-2 layer-1 samples %d should exceed pass-1's %d", l5, l1)
+	}
+	// More communication in two passes.
+	if outTwo.Stats.CommBytes <= outOne.Stats.CommBytes {
+		t.Errorf("2-pass bytes %d should exceed 1-pass %d",
+			outTwo.Stats.CommBytes, outOne.Stats.CommBytes)
+	}
+}
+
+func TestTwoPassDCFilter(t *testing.T) {
+	d := testSet(t, 320)
+	p := paramsFor(MethodDCFilter, 4, d)
+	p.CascadePasses = 2
+	out, err := Train(d.X, d.Y, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := out.Set.Accuracy(d.TestX, d.TestY); acc < 0.85 {
+		t.Errorf("2-pass DC-Filter accuracy %.3f", acc)
+	}
+}
+
+func TestTwoPassSingleRank(t *testing.T) {
+	d := testSet(t, 120)
+	p := paramsFor(MethodCascade, 1, d)
+	p.CascadePasses = 2
+	out, err := Train(d.X, d.Y, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Stats.Layers) != 2 {
+		t.Errorf("P=1 two passes should record 2 layers, got %d", len(out.Stats.Layers))
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"casvm/internal/la"
+	"casvm/internal/model"
+	"casvm/internal/mpi"
+	"casvm/internal/perfmodel"
+)
+
+// PredictDistributed executes the prediction process of Alg 6 over a fresh
+// world of set.P() ranks: rank 0 holds the query set and the data centers,
+// routes each query to the rank whose center is nearest (one Scatterv of
+// sample blocks), every rank classifies its queries with its resident
+// model file, and the labels gather back at rank 0.
+//
+// The paper's point (§IV-B) is that this communication is negligible next
+// to training — the returned Stats lets callers verify it: only the query
+// features and one float per label cross the network.
+func PredictDistributed(set *model.Set, q *la.Matrix, machine perfmodel.Machine, seed int64) ([]float64, Stats, error) {
+	if set == nil || len(set.Models) == 0 {
+		return nil, Stats{}, errors.New("core: PredictDistributed: empty model set")
+	}
+	if q == nil || q.Rows() == 0 {
+		return nil, Stats{}, errors.New("core: PredictDistributed: no queries")
+	}
+	p := set.P()
+	world := mpi.NewWorld(p, machine, seed)
+	preds := make([]float64, q.Rows())
+
+	err := world.Run(func(c *mpi.Comm) error {
+		const tagLabels = 32
+		var routed [][]int
+		if c.Rank() == 0 {
+			// Route every query to its nearest center (Alg 6 step 2).
+			routed = make([][]int, p)
+			for i := 0; i < q.Rows(); i++ {
+				r := set.Route(q, i)
+				routed[r] = append(routed[r], i)
+			}
+			c.Charge(float64(2 * q.Rows() * p * q.Features()))
+			blocks := make([][]byte, p)
+			for r := 0; r < p; r++ {
+				blocks[r] = q.EncodeRows(routed[r])
+			}
+			// Rank 0 keeps its own block in place and predicts it from
+			// the routing table directly.
+			c.Scatterv(0, blocks)
+		} else {
+			block := c.Scatterv(0, nil)
+			qx, err := la.DecodeMatrix(block)
+			if err != nil {
+				return err
+			}
+			labels := make([]float64, qx.Rows())
+			for i := range labels {
+				labels[i] = set.Models[c.Rank()].Predict(qx, i)
+			}
+			c.Charge(float64(qx.Rows() * set.Models[c.Rank()].NSV() * 2 * qx.Features()))
+			c.SendF64(0, tagLabels, labels)
+			return nil
+		}
+
+		// Rank 0: predict the locally routed block and collect the rest.
+		for _, i := range routed[0] {
+			preds[i] = set.Models[0].Predict(q, i)
+		}
+		for r := 1; r < p; r++ {
+			labels := c.RecvF64(r, tagLabels)
+			if len(labels) != len(routed[r]) {
+				return fmt.Errorf("core: rank %d returned %d labels for %d queries", r, len(labels), len(routed[r]))
+			}
+			for k, i := range routed[r] {
+				preds[i] = labels[k]
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	st := Stats{Method: "predict", P: p, TotalSec: world.MaxClock()}
+	fillCommStats(&st, world.Stats())
+	return preds, st, nil
+}

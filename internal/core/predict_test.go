@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"casvm/internal/perfmodel"
+)
+
+func TestPredictDistributedMatchesLocal(t *testing.T) {
+	d := testSet(t, 400)
+	out, err := Train(d.X, d.Y, paramsFor(MethodCPSVM, 4, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := out.Set.PredictAll(d.TestX)
+	dist, st, err := PredictDistributed(out.Set, d.TestX, perfmodel.Hopper(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range local {
+		if local[i] != dist[i] {
+			t.Fatalf("prediction %d differs: %v vs %v", i, local[i], dist[i])
+		}
+	}
+	if st.CommBytes == 0 {
+		t.Error("routing must move the queries")
+	}
+	// "Little communication": no more than the queries' features (float32)
+	// plus the label floats plus headers — far below the training set size.
+	upper := int64(4*d.TestX.Rows()*d.TestX.Features()) + int64(16*d.TestX.Rows()) + 4096
+	if st.CommBytes > upper {
+		t.Errorf("prediction moved %d bytes, expected ≤ %d", st.CommBytes, upper)
+	}
+	if st.TotalSec <= 0 {
+		t.Error("virtual time should be positive")
+	}
+}
+
+func TestPredictDistributedSingleModel(t *testing.T) {
+	d := testSet(t, 200)
+	out, err := Train(d.X, d.Y, paramsFor(MethodDisSMO, 2, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dis-SMO produces a single-model set: the world has one rank and no
+	// network traffic.
+	preds, st, err := PredictDistributed(out.Set, d.TestX, perfmodel.Hopper(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != d.TestX.Rows() {
+		t.Fatal("prediction count")
+	}
+	if st.CommBytes != 0 {
+		t.Errorf("single-rank prediction moved %d bytes", st.CommBytes)
+	}
+}
+
+func TestPredictDistributedValidation(t *testing.T) {
+	d := testSet(t, 120)
+	out, err := Train(d.X, d.Y, paramsFor(MethodRACA, 2, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := PredictDistributed(nil, d.TestX, perfmodel.Hopper(), 1); err == nil {
+		t.Error("nil set should fail")
+	}
+	if _, _, err := PredictDistributed(out.Set, nil, perfmodel.Hopper(), 1); err == nil {
+		t.Error("nil queries should fail")
+	}
+}
+
+// Prediction communication is tiny next to training communication for the
+// methods that move data (the §IV-B claim).
+func TestPredictionCommTinyVsTraining(t *testing.T) {
+	d := testSet(t, 480)
+	out, err := Train(d.X, d.Y, paramsFor(MethodCPSVM, 4, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := PredictDistributed(out.Set, d.TestX, perfmodel.Hopper(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CommBytes*4 > out.Stats.CommBytes {
+		t.Errorf("prediction bytes %d should be ≤ ¼ of training bytes %d",
+			st.CommBytes, out.Stats.CommBytes)
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"casvm/internal/la"
+	"casvm/internal/model"
+	"casvm/internal/mpi"
+)
+
+// Train runs the configured method on (x, y) across a fresh world of p.P
+// ranks and returns the trained model set plus the run statistics. Labels
+// must be ±1.
+func Train(x *la.Matrix, y []float64, p Params) (*Output, error) {
+	if x == nil || x.Rows() != len(y) {
+		return nil, errors.New("core: samples and labels disagree")
+	}
+	if err := p.validate(x.Rows()); err != nil {
+		return nil, err
+	}
+	world := mpi.NewWorld(p.P, p.Machine, p.Seed)
+	results := make([]rankResult, p.P)
+	lc := newLayerCollector()
+
+	wall0 := time.Now()
+	err := world.Run(func(c *mpi.Comm) error {
+		out := &results[c.Rank()]
+		switch p.Method {
+		case MethodDisSMO:
+			return trainDisSMO(c, x, y, p, out)
+		case MethodCascade:
+			return trainTree(c, x, y, p, out, false, false, lc)
+		case MethodDCSVM:
+			return trainTree(c, x, y, p, out, true, true, lc)
+		case MethodDCFilter:
+			return trainTree(c, x, y, p, out, true, false, lc)
+		case MethodCPSVM:
+			return trainCPSVM(c, x, y, p, out)
+		case MethodFCFSCA, MethodBKMCA, MethodRACA:
+			return trainCASVM(c, x, y, p, out)
+		default:
+			return fmt.Errorf("core: unimplemented method %q", p.Method)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(wall0)
+
+	st := Stats{
+		Method: p.Method,
+		P:      p.P,
+		Wall:   wall,
+	}
+	st.TotalSec = world.MaxClock()
+	st.PartSizes = make([]int, p.P)
+	st.NodeTrainSec = make([]float64, p.P)
+	st.NodeIters = make([]int, p.P)
+	st.NodePos = make([]int, p.P)
+	st.NodeNeg = make([]int, p.P)
+	st.NodeSVPos = make([]int, p.P)
+	st.NodeSVNeg = make([]int, p.P)
+	for r := range results {
+		st.PartSizes[r] = results[r].partSize
+		st.NodeTrainSec[r] = results[r].trainSec
+		st.NodeIters[r] = results[r].iters
+		st.NodePos[r] = results[r].pos
+		st.NodeNeg[r] = results[r].neg
+		st.NodeSVPos[r] = results[r].svPos
+		st.NodeSVNeg[r] = results[r].svNeg
+		if results[r].initSec > st.InitSec {
+			st.InitSec = results[r].initSec
+		}
+		if results[r].trainSec > st.TrainSec {
+			st.TrainSec = results[r].trainSec
+		}
+		if results[r].kmIters > st.KMeansIters {
+			st.KMeansIters = results[r].kmIters
+		}
+	}
+	fillCommStats(&st, world.Stats())
+
+	var set *model.Set
+	switch p.Method {
+	case MethodDisSMO:
+		st.Iters = results[0].iters
+		st.SVs = results[0].svs
+		set = model.Single(results[0].local, nil)
+	case MethodCascade, MethodDCSVM, MethodDCFilter:
+		st.Layers = lc.snapshot()
+		for _, l := range st.Layers {
+			st.Iters += l.MaxIters()
+		}
+		st.SVs = results[0].svs
+		set = model.Single(results[0].local, nil)
+	default: // CP-SVM and the CA-SVM variants: one model per rank
+		n := x.Features()
+		centers := make([]float64, p.P*n)
+		models := make([]*model.Model, p.P)
+		for r := range results {
+			if results[r].local == nil {
+				return nil, fmt.Errorf("core: rank %d produced no model", r)
+			}
+			models[r] = results[r].local
+			copy(centers[r*n:(r+1)*n], results[r].center)
+			st.SVs += results[r].svs
+			if results[r].iters > st.Iters {
+				st.Iters = results[r].iters
+			}
+		}
+		set = &model.Set{Models: models, Centers: la.NewDense(p.P, n, centers)}
+	}
+	return &Output{Set: set, Stats: st}, nil
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"sync"
+
+	"casvm/internal/kmeans"
+	"casvm/internal/la"
+	"casvm/internal/model"
+	"casvm/internal/mpi"
+	"casvm/internal/smo"
+)
+
+// layerCollector accumulates per-layer node profiles (Table V) from all
+// rank goroutines.
+type layerCollector struct {
+	mu     sync.Mutex
+	layers map[int][]NodeStat
+}
+
+func newLayerCollector() *layerCollector {
+	return &layerCollector{layers: map[int][]NodeStat{}}
+}
+
+func (lc *layerCollector) add(layer int, ns NodeStat) {
+	lc.mu.Lock()
+	lc.layers[layer] = append(lc.layers[layer], ns)
+	lc.mu.Unlock()
+}
+
+func (lc *layerCollector) snapshot() []LayerStat {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	out := make([]LayerStat, 0, len(lc.layers))
+	for l := 1; ; l++ {
+		nodes, ok := lc.layers[l]
+		if !ok {
+			break
+		}
+		// Sort nodes by rank for stable presentation.
+		sorted := append([]NodeStat(nil), nodes...)
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j].Rank < sorted[j-1].Rank; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		out = append(out, LayerStat{Layer: l, Nodes: sorted})
+	}
+	return out
+}
+
+// treeLayers returns the number of layers a reduction tree over p ranks
+// has: ⌈log₂ p⌉ + 1.
+func treeLayers(p int) int {
+	l := 1
+	for n := p; n > 1; n = (n + 1) / 2 {
+		l++
+	}
+	return l
+}
+
+// trainTree implements the reduction-tree family (Fig 2):
+//
+//   - Cascade:   even block partition, SV-only layer passing
+//   - DC-SVM:    K-means partition,   all-samples layer passing
+//   - DC-Filter: K-means partition,   SV-only layer passing
+//
+// The active ranks halve every layer; surviving parts carry their Lagrange
+// multipliers to warm-start the next layer (§II-C). When
+// p.CascadePasses > 1, the final model's support vectors are redistributed
+// to every node and the whole pass repeats (the feedback loop of Fig 2;
+// the paper notes one pass almost always suffices).
+func trainTree(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params,
+	out *rankResult, useKMeans, passAll bool, lc *layerCollector) error {
+
+	local, err := scatterBlocks(c, full, fullY)
+	if err != nil {
+		return err
+	}
+	if useKMeans {
+		km := kmeans.RunDistributed(c, local.x, c.Size(), 0, p.KMeansMaxIter)
+		out.kmIters = km.Iters
+		if local, err = regroup(c, local, km.Assign); err != nil {
+			return err
+		}
+	}
+	out.partSize = local.x.Rows()
+	out.initSec = c.Clock()
+
+	passes := p.CascadePasses
+	if passes < 1 {
+		passes = 1
+	}
+	current := local
+	layerBase := 0
+	for pass := 0; pass < passes; pass++ {
+		finalPart, finalRes, err := runTreePass(c, current, p, passAll, lc, layerBase)
+		if err != nil {
+			return err
+		}
+		layerBase += treeLayers(c.Size())
+		if pass == passes-1 {
+			if c.Rank() == 0 {
+				out.local = model.FromSolution(finalPart.x, finalPart.y, finalRes.Alpha, finalRes.B, p.Kernel)
+				out.svs = out.local.NSV()
+			}
+			break
+		}
+		// Fig 2 feedback: broadcast the final SV set and re-run the pass
+		// on TD_i ∪ SV, warm-starting the SV multipliers.
+		var svPayload []byte
+		if c.Rank() == 0 {
+			svRows := []int{}
+			for i, a := range finalRes.Alpha {
+				if a > 0 {
+					svRows = append(svRows, i)
+				}
+			}
+			svPayload = encodePart(finalPart.x, finalPart.y, finalRes.Alpha, svRows)
+		}
+		svPayload = c.Bcast(0, svPayload)
+		svPart, err := decodePart(svPayload)
+		if err != nil {
+			return err
+		}
+		base := local
+		base.alpha = make([]float64, base.x.Rows())
+		current = mergeParts([]part{base, svPart})
+	}
+	out.trainSec = c.Clock() - out.initSec
+	return nil
+}
+
+// runTreePass executes one full reduction-tree pass. Every rank returns;
+// only the final node (rank 0) gets a non-nil result and the merged part it
+// trained on. layerBase offsets the recorded layer numbers so multi-pass
+// profiles stay distinct.
+func runTreePass(c *mpi.Comm, current part, p Params, passAll bool,
+	lc *layerCollector, layerBase int) (part, *smo.Result, error) {
+
+	active := allRows(c.Size())
+	const tag = 23
+	for layer := 1; ; layer++ {
+		pos := indexOf(active, c.Rank())
+		if pos < 0 {
+			return part{}, nil, nil // retired in an earlier layer
+		}
+		t0 := c.Clock()
+		res, err := smo.Solve(current.x, current.y, p.solverConfig(), current.alpha)
+		if err != nil {
+			return part{}, nil, err
+		}
+		c.Charge(res.Flops)
+		svRows := []int{}
+		for i, a := range res.Alpha {
+			if a > 0 {
+				svRows = append(svRows, i)
+			}
+		}
+		lc.add(layerBase+layer, NodeStat{
+			Rank:    c.Rank(),
+			Samples: current.x.Rows(),
+			Iters:   res.Iters,
+			SVs:     len(svRows),
+			Time:    c.Clock() - t0,
+		})
+		if len(active) == 1 {
+			return current, res, nil
+		}
+		// Select what ascends: everything (DC-SVM) or only SVs
+		// (Cascade, DC-Filter), always with multipliers for warm start.
+		rows := svRows
+		if passAll {
+			rows = allRows(current.x.Rows())
+		}
+		if pos%2 == 1 {
+			// Odd position: ship to the left partner and retire.
+			c.Send(active[pos-1], tag, encodePart(current.x, current.y, res.Alpha, rows))
+			return part{}, nil, nil
+		}
+		outgoing, err := decodePart(encodePart(current.x, current.y, res.Alpha, rows))
+		if err != nil {
+			return part{}, nil, err
+		}
+		if pos+1 < len(active) {
+			received, err := decodePart(c.Recv(active[pos+1], tag))
+			if err != nil {
+				return part{}, nil, err
+			}
+			current = mergeParts([]part{outgoing, received})
+		} else {
+			// Odd active count: pass through unpaired.
+			current = outgoing
+		}
+		active = evens(active)
+	}
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func evens(xs []int) []int {
+	out := make([]int, 0, (len(xs)+1)/2)
+	for i := 0; i < len(xs); i += 2 {
+		out = append(out, xs[i])
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"casvm/internal/data"
+	"casvm/internal/kernel"
+)
+
+// Class weighting must flow through the distributed methods and lift
+// positive recall on an imbalanced workload.
+func TestPosWeightThroughDistributedTraining(t *testing.T) {
+	d, err := data.Generate(data.MixtureSpec{
+		Name: "imb", Train: 800, Test: 400, Features: 6, Clusters: 4,
+		Separation: 5, Noise: 1.3, PosFrac: []float64{0.08}, LabelNoise: 0.01,
+		Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{MethodDisSMO, MethodRACA} {
+		recallOf := func(w float64) float64 {
+			p := DefaultParams(m, 4)
+			p.Kernel = kernel.RBF(1.0 / 12)
+			p.PosWeight = w
+			out, err := Train(d.X, d.Y, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out.Set.Confusion(d.TestX, d.TestY).Recall()
+		}
+		plain := recallOf(0)
+		weighted := recallOf(6)
+		if weighted < plain {
+			t.Errorf("%s: PosWeight=6 recall %.3f < unweighted %.3f", m, weighted, plain)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package data
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadLIBSVM asserts the LIBSVM parser never panics and that whatever
+// it accepts is internally consistent. Run with `go test -fuzz
+// FuzzReadLIBSVM ./internal/data` for extended exploration; the seed
+// corpus runs in normal test mode.
+func FuzzReadLIBSVM(f *testing.F) {
+	seeds := []string{
+		"",
+		"+1 1:0.5 3:2.0\n-1 2:1\n",
+		"1\n",
+		"abc\n",
+		"1 0:1\n",
+		"1 1:1 1:2\n",
+		"1 999999:1\n",
+		"-1 2:1e300\n# comment only\n",
+		"+1 1:nan\n",
+		strings.Repeat("1 1:1\n", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		x, y, err := ReadLIBSVM(strings.NewReader(in), 0)
+		if err != nil {
+			return
+		}
+		if x.Rows() != len(y) {
+			t.Fatalf("rows %d != labels %d", x.Rows(), len(y))
+		}
+		// Every stored index must be in range and rows sorted.
+		for i := 0; i < x.Rows(); i++ {
+			ix, _ := x.SparseRow(i)
+			for k, col := range ix {
+				if int(col) >= x.Features() || col < 0 {
+					t.Fatalf("row %d col %d out of range %d", i, col, x.Features())
+				}
+				if k > 0 && ix[k-1] >= col {
+					t.Fatalf("row %d indices not strictly increasing", i)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"casvm/internal/la"
+)
+
+// GenerateMulticlass draws a clustered K-class dataset: the spec's Gaussian
+// mixture with cluster c labelled class c mod classes, and LabelNoise of
+// the labels reassigned uniformly at random. Labels are 0 … classes−1.
+// Train/test splitting follows the spec's Train/Test counts. PosFrac and
+// Margin are ignored (they are binary-boundary concepts).
+func GenerateMulticlass(spec MixtureSpec, classes int) (trainX *la.Matrix, trainY []float64, testX *la.Matrix, testY []float64, err error) {
+	if classes < 2 {
+		return nil, nil, nil, nil, fmt.Errorf("data: multiclass needs ≥2 classes")
+	}
+	if spec.Clusters < classes {
+		return nil, nil, nil, nil, fmt.Errorf("data: %d clusters cannot host %d classes", spec.Clusters, classes)
+	}
+	if spec.Train < 1 || spec.Features < 1 {
+		return nil, nil, nil, nil, fmt.Errorf("data: bad multiclass spec %q", spec.Name)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	total := spec.Train + spec.Test
+	n := spec.Features
+	k := spec.Clusters
+
+	centers := make([][]float64, k)
+	for c := 0; c < k; c++ {
+		centers[c] = make([]float64, n)
+		var norm float64
+		for j := range centers[c] {
+			centers[c][j] = rng.NormFloat64()
+			norm += centers[c][j] * centers[c][j]
+		}
+		norm = math.Sqrt(norm)
+		for j := range centers[c] {
+			centers[c][j] *= spec.Separation / norm
+		}
+	}
+
+	dataBuf := make([]float64, total*n)
+	y := make([]float64, total)
+	for i := 0; i < total; i++ {
+		c := rng.Intn(k)
+		row := dataBuf[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			row[j] = centers[c][j] + spec.Noise*rng.NormFloat64()
+		}
+		if spec.LabelNoise > 0 && rng.Float64() < spec.LabelNoise {
+			y[i] = float64(rng.Intn(classes))
+		} else {
+			y[i] = float64(c % classes)
+		}
+	}
+	x := la.NewDense(total, n, dataBuf)
+	perm := rng.Perm(total)
+	trainRows, testRows := perm[:spec.Train], perm[spec.Train:]
+	trainX = x.Subset(trainRows)
+	trainY = make([]float64, len(trainRows))
+	for t, i := range trainRows {
+		trainY[t] = y[i]
+	}
+	if spec.Test > 0 {
+		testX = x.Subset(testRows)
+		testY = make([]float64, len(testRows))
+		for t, i := range testRows {
+			testY[t] = y[i]
+		}
+	}
+	return trainX, trainY, testX, testY, nil
+}

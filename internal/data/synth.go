@@ -1,0 +1,289 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"casvm/internal/la"
+)
+
+// MixtureSpec describes a synthetic Gaussian-mixture classification
+// dataset. Samples are drawn from Clusters isotropic Gaussians; within each
+// cluster the label is decided by a random local hyperplane whose offset is
+// tuned so the cluster's positive fraction matches PosFrac. This makes the
+// decision boundary locally simple (so a Gaussian-kernel SVM can learn it)
+// while keeping the global geometry clustered — the locality property the
+// CP/CA-SVM methods exploit (§IV-A).
+type MixtureSpec struct {
+	Name     string
+	Train    int // training samples
+	Test     int // held-out samples
+	Features int
+	Clusters int
+	// Separation scales the distance of cluster centers from the origin;
+	// Noise is the within-cluster standard deviation.
+	Separation float64
+	Noise      float64
+	// PosFrac is the positive-label fraction per cluster. One value
+	// applies to every cluster; otherwise len must equal Clusters.
+	// Uneven values recreate the face-dataset imbalance of Table VII.
+	PosFrac []float64
+	// LabelNoise flips this fraction of labels at random, controlling how
+	// hard the problem is (and how many SMO iterations it takes).
+	LabelNoise float64
+	// Margin pushes samples that land within Margin standard deviations
+	// of their cluster's label boundary away from it, creating a margin
+	// band. A nonzero margin makes the boundary learnable from small
+	// per-node subsamples — the regime the paper's large datasets are in,
+	// where CA-SVM's random partitions lose almost no accuracy.
+	Margin float64
+	// Sparse selects CSR output with roughly Density·Features nonzeros
+	// per row (webspam-like data).
+	Sparse  bool
+	Density float64
+	Seed    int64
+}
+
+func (s MixtureSpec) validate() error {
+	if s.Train < 1 || s.Features < 1 || s.Clusters < 1 {
+		return fmt.Errorf("data: bad spec %q: train=%d features=%d clusters=%d", s.Name, s.Train, s.Features, s.Clusters)
+	}
+	if len(s.PosFrac) != 1 && len(s.PosFrac) != s.Clusters {
+		return fmt.Errorf("data: spec %q: PosFrac has %d entries, want 1 or %d", s.Name, len(s.PosFrac), s.Clusters)
+	}
+	for _, f := range s.PosFrac {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("data: spec %q: PosFrac %v outside [0,1]", s.Name, f)
+		}
+	}
+	if s.Sparse && (s.Density <= 0 || s.Density > 1) {
+		return fmt.Errorf("data: spec %q: sparse needs density in (0,1], got %v", s.Name, s.Density)
+	}
+	return nil
+}
+
+func (s MixtureSpec) posFrac(c int) float64 {
+	if len(s.PosFrac) == 1 {
+		return s.PosFrac[0]
+	}
+	return s.PosFrac[c]
+}
+
+// Generate materialises the spec into a Dataset with Train training and
+// Test held-out samples. Generation is deterministic in Seed.
+func Generate(spec MixtureSpec) (*Dataset, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	total := spec.Train + spec.Test
+	n := spec.Features
+	k := spec.Clusters
+
+	// Cluster centers: random directions at radius Separation. For sparse
+	// data each cluster gets its own support set of ~Density·n columns.
+	centers := make([][]float64, k) // dense center (sparse: values on support only)
+	supports := make([][]int32, k)  // sparse: sorted support columns
+	hyperW := make([][]float64, k)  // local label hyperplane (unit norm)
+	for c := 0; c < k; c++ {
+		if spec.Sparse {
+			nnz := int(spec.Density * float64(n))
+			if nnz < 2 {
+				nnz = 2
+			}
+			supports[c] = randomSupport(rng, n, nnz)
+			centers[c] = make([]float64, nnz)
+			hyperW[c] = make([]float64, nnz)
+		} else {
+			centers[c] = make([]float64, n)
+			hyperW[c] = make([]float64, n)
+		}
+		var norm float64
+		for j := range centers[c] {
+			centers[c][j] = rng.NormFloat64()
+			norm += centers[c][j] * centers[c][j]
+		}
+		norm = math.Sqrt(norm)
+		for j := range centers[c] {
+			centers[c][j] *= spec.Separation / norm
+		}
+		var wn float64
+		for j := range hyperW[c] {
+			hyperW[c][j] = rng.NormFloat64()
+			wn += hyperW[c][j] * hyperW[c][j]
+		}
+		wn = math.Sqrt(wn)
+		for j := range hyperW[c] {
+			hyperW[c][j] /= wn
+		}
+	}
+
+	y := make([]float64, total)
+	assignCluster := make([]int, total)
+	for i := range assignCluster {
+		assignCluster[i] = rng.Intn(k)
+	}
+
+	var x *la.Matrix
+	if spec.Sparse {
+		rowptr := make([]int32, total+1)
+		var idx []int32
+		var val []float64
+		for i := 0; i < total; i++ {
+			c := assignCluster[i]
+			sup := supports[c]
+			base := len(val)
+			var t float64 // projection onto the local hyperplane, in σ units
+			for j := range sup {
+				noise := spec.Noise * rng.NormFloat64()
+				v := centers[c][j] + noise
+				t += hyperW[c][j] * noise / spec.Noise
+				idx = append(idx, sup[j])
+				val = append(val, v)
+			}
+			t = applyMargin(val[base:], hyperW[c], t, spec, c)
+			rowptr[i+1] = int32(len(idx))
+			y[i] = labelFromProjection(t, spec.posFrac(c), spec.LabelNoise, rng)
+		}
+		x = la.NewSparse(total, n, rowptr, idx, val)
+	} else {
+		dataBuf := make([]float64, total*n)
+		for i := 0; i < total; i++ {
+			c := assignCluster[i]
+			row := dataBuf[i*n : (i+1)*n]
+			var t float64
+			for j := 0; j < n; j++ {
+				noise := spec.Noise * rng.NormFloat64()
+				row[j] = centers[c][j] + noise
+				t += hyperW[c][j] * noise / spec.Noise
+			}
+			t = applyMargin(row, hyperW[c], t, spec, c)
+			y[i] = labelFromProjection(t, spec.posFrac(c), spec.LabelNoise, rng)
+		}
+		x = la.NewDense(total, n, dataBuf)
+	}
+
+	d := &Dataset{Name: spec.Name}
+	rows := rng.Perm(total)
+	trainRows, testRows := rows[:spec.Train], rows[spec.Train:]
+	d.X = x.Subset(trainRows)
+	d.Y = make([]float64, len(trainRows))
+	for t, i := range trainRows {
+		d.Y[t] = y[i]
+	}
+	if spec.Test > 0 {
+		d.TestX = x.Subset(testRows)
+		d.TestY = make([]float64, len(testRows))
+		for t, i := range testRows {
+			d.TestY[t] = y[i]
+		}
+	}
+	return d, d.Validate()
+}
+
+// applyMargin shifts a sample whose boundary projection t (σ units) falls
+// within spec.Margin of its cluster's label threshold away from the
+// threshold along the hyperplane normal, and returns the adjusted t.
+func applyMargin(row, w []float64, t float64, spec MixtureSpec, c int) float64 {
+	if spec.Margin <= 0 {
+		return t
+	}
+	pf := spec.posFrac(c)
+	if pf <= 0 || pf >= 1 {
+		return t
+	}
+	z := normQuantile(1 - pf)
+	d := t - z
+	ad := d
+	if ad < 0 {
+		ad = -ad
+	}
+	if ad >= spec.Margin {
+		return t
+	}
+	shift := spec.Margin - ad
+	if d < 0 {
+		shift = -shift
+	} else if d == 0 {
+		// Exactly on the boundary: push to the positive side.
+		shift = spec.Margin
+	}
+	for j := range row {
+		row[j] += spec.Noise * shift * w[j]
+	}
+	return t + shift
+}
+
+// labelFromProjection converts a standard-normal projection t into a ±1
+// label: positive when t exceeds the (1−posFrac) normal quantile, then
+// flipped with probability labelNoise.
+func labelFromProjection(t, posFrac, labelNoise float64, rng *rand.Rand) float64 {
+	var lab float64
+	switch {
+	case posFrac <= 0:
+		lab = -1
+	case posFrac >= 1:
+		lab = 1
+	default:
+		if t > normQuantile(1-posFrac) {
+			lab = 1
+		} else {
+			lab = -1
+		}
+	}
+	if labelNoise > 0 && rng.Float64() < labelNoise {
+		lab = -lab
+	}
+	return lab
+}
+
+// randomSupport picks nnz distinct sorted columns out of n.
+func randomSupport(rng *rand.Rand, n, nnz int) []int32 {
+	if nnz > n {
+		nnz = n
+	}
+	perm := rng.Perm(n)[:nnz]
+	sort.Ints(perm)
+	out := make([]int32, nnz)
+	for i, v := range perm {
+		out[i] = int32(v)
+	}
+	return out
+}
+
+// normQuantile is the inverse standard normal CDF (Acklam's rational
+// approximation, |ε| < 1.15e-9), used to hit the requested class fractions.
+func normQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const plow = 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > 1-plow:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}

@@ -1,0 +1,146 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func tinyConfig(buf *bytes.Buffer) Config {
+	return Config{Out: buf, Scale: 0.1, P: 4, MaxP: 16, Seed: 1}
+}
+
+// Every experiment must run cleanly at tiny scale and produce output.
+func TestAllRunnersSmoke(t *testing.T) {
+	for _, r := range Runners() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := RunOne(r, tinyConfig(&buf)); err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if buf.Len() < 40 {
+				t.Fatalf("%s produced almost no output:\n%s", r.ID, buf.String())
+			}
+		})
+	}
+}
+
+func TestFindAndRunAllErrors(t *testing.T) {
+	if _, err := Find("table99"); err == nil {
+		t.Error("unknown id should fail")
+	}
+	if len(Runners()) != 24 {
+		t.Errorf("runners=%d want 24", len(Runners()))
+	}
+	ids := map[string]bool{}
+	for _, r := range Runners() {
+		if ids[r.ID] {
+			t.Errorf("duplicate id %s", r.ID)
+		}
+		ids[r.ID] = true
+	}
+}
+
+func TestTable10CASVMZeroRow(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table10(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "RA-CA") {
+			found = true
+			if !strings.Contains(line, "0B") {
+				t.Errorf("RA-CA row should be zero bytes: %q", line)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no RA-CA row:\n%s", out)
+	}
+}
+
+func TestTable12ListsAllDatasets(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table12(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"adult", "epsilon", "face", "gisette", "ijcnn", "usps", "webspam"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("table12 missing %s", name)
+		}
+	}
+}
+
+func TestFig9HasBothPlacements(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig9(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "casvm1") || !strings.Contains(out, "casvm2") {
+		t.Fatalf("fig9 must include both placements:\n%s", out)
+	}
+	// casvm2's comm ratio must be exactly zero.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "casvm2") && !strings.Contains(line, "0.0%") {
+			t.Errorf("casvm2 should be 0%% comm: %q", line)
+		}
+	}
+}
+
+func TestWeakScalingCAFlat(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	per := weakPerNode(cfg)
+	times, err := scalingTimes(cfg, func(p int) int { return per * p })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CA-SVM weak-scaling time must grow far slower than Dis-SMO's.
+	ca := times["ra-ca"]
+	dis := times["dissmo"]
+	if len(ca) < 2 {
+		t.Fatal("sweep too short")
+	}
+	caGrowth := ca[len(ca)-1] / ca[0]
+	disGrowth := dis[len(dis)-1] / dis[0]
+	if caGrowth > disGrowth {
+		t.Errorf("CA growth %.2f should beat Dis-SMO growth %.2f", caGrowth, disGrowth)
+	}
+}
+
+func TestMachineFor(t *testing.T) {
+	full := machineFor(48000, 48000)
+	if full.Ts != machineFor(100000, 48000).Ts {
+		t.Error("at or above paper scale the machine is unmodified")
+	}
+	half := machineFor(24000, 48000)
+	if half.Ts >= full.Ts || half.Tw >= full.Tw {
+		t.Error("below paper scale ts/tw shrink")
+	}
+	if half.Tc != full.Tc {
+		t.Error("tc must not change")
+	}
+	if machineFor(10, 0).Ts != full.Ts {
+		t.Error("paperSamples=0 leaves the machine unmodified")
+	}
+}
+
+func TestRanksByTime(t *testing.T) {
+	order := ranksByTime([]float64{3, 1, 2})
+	if order[0] != 1 || order[1] != 2 || order[2] != 0 {
+		t.Errorf("order=%v", order)
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := map[int64]string{0: "0B", 500: "500B", 1500: "1.5KB", 2500000: "2.5MB"}
+	for in, want := range cases {
+		if got := fmtBytes(in); got != want {
+			t.Errorf("fmtBytes(%d)=%q want %q", in, got, want)
+		}
+	}
+}

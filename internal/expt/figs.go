@@ -1,0 +1,171 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"casvm/internal/core"
+	"casvm/internal/kmeans"
+	"casvm/internal/partition"
+)
+
+// Fig5 reproduces Figure 5: per-node partition sizes under plain K-means
+// versus FCFS on the face dataset — K-means is imbalanced, FCFS exact.
+func Fig5(cfg Config) error {
+	cfg = cfg.withDefaults()
+	d, _, err := loadScaled(cfg, "face")
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	km := kmeans.Run(d.X, kmeans.Seed(d.X, cfg.P, rng), 0, 0)
+	fcfs, err := partition.FCFS(d.X, d.Y, cfg.P, partition.Options{}, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "m=%d P=%d\n", d.M(), cfg.P)
+	fmt.Fprintf(cfg.Out, "%-8s", "Node")
+	for r := 0; r < cfg.P; r++ {
+		fmt.Fprintf(cfg.Out, " %8d", r)
+	}
+	fmt.Fprintf(cfg.Out, "\n%-8s", "K-means")
+	for _, s := range km.Sizes {
+		fmt.Fprintf(cfg.Out, " %8d", s)
+	}
+	fmt.Fprintf(cfg.Out, "\n%-8s", "FCFS")
+	for _, s := range fcfs.Sizes {
+		fmt.Fprintf(cfg.Out, " %8d", s)
+	}
+	fmt.Fprintln(cfg.Out)
+	fmt.Fprintln(cfg.Out, "(paper: K-means imbalanced, FCFS gives every node exactly m/P)")
+	return nil
+}
+
+// Fig7 reproduces Figure 7: per-node training time under CP-SVM (load
+// imbalanced) versus CA-SVM (balanced) on the epsilon workload.
+func Fig7(cfg Config) error {
+	cfg = cfg.withDefaults()
+	d, e, err := loadScaled(cfg, "epsilon")
+	if err != nil {
+		return err
+	}
+	cp, err := core.Train(d.X, d.Y, paramsFor(cfg, core.MethodCPSVM, e, cfg.P, d.M()))
+	if err != nil {
+		return err
+	}
+	ca, err := core.Train(d.X, d.Y, paramsFor(cfg, core.MethodRACA, e, cfg.P, d.M()))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "%-8s", "Node")
+	for r := 0; r < cfg.P; r++ {
+		fmt.Fprintf(cfg.Out, " %9d", r)
+	}
+	fmt.Fprintf(cfg.Out, "\n%-8s", "CP-SVM")
+	for _, t := range cp.Stats.NodeTrainSec {
+		fmt.Fprintf(cfg.Out, " %8.3fs", t)
+	}
+	fmt.Fprintf(cfg.Out, "\n%-8s", "CA-SVM")
+	for _, t := range ca.Stats.NodeTrainSec {
+		fmt.Fprintf(cfg.Out, " %8.3fs", t)
+	}
+	fmt.Fprintln(cfg.Out)
+	fmt.Fprintf(cfg.Out, "imbalance (max/min node time): CP-SVM %.1f×, CA-SVM %.1f×\n",
+		spread(cp.Stats.NodeTrainSec), spread(ca.Stats.NodeTrainSec))
+	return nil
+}
+
+func spread(ts []float64) float64 {
+	if len(ts) == 0 {
+		return 0
+	}
+	min, max := ts[0], ts[0]
+	for _, t := range ts {
+		if t < min {
+			min = t
+		}
+		if t > max {
+			max = t
+		}
+	}
+	if min <= 0 {
+		return 0
+	}
+	return max / min
+}
+
+// Fig8 reproduces Figure 8: the P×P communication byte matrix of each
+// method on the toy dataset.
+func Fig8(cfg Config) error {
+	cfg = cfg.withDefaults()
+	outs, d, _, err := commRun(cfg, "toy")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "toy dataset, m=%d, P=%d; entries are bytes sender→receiver\n", d.M(), cfg.P)
+	for _, m := range sixMethods() {
+		fmt.Fprintf(cfg.Out, "\n-- %s (total %s) --\n", methodLabel(m), fmtBytes(outs[m].Stats.CommBytes))
+		fmt.Fprint(cfg.Out, formatMatrix(outs[m].Stats.CommMatrix))
+	}
+	return nil
+}
+
+func formatMatrix(m [][]int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%5s", "s\\r")
+	for j := range m {
+		fmt.Fprintf(&b, " %9d", j)
+	}
+	b.WriteByte('\n')
+	for i, row := range m {
+		fmt.Fprintf(&b, "%5d", i)
+		for _, v := range row {
+			fmt.Fprintf(&b, " %9d", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig9 reproduces Figure 9: the ratio of communication time to total time
+// for the six methods plus both CA-SVM placements (casvm1 scatters from
+// rank 0; casvm2 starts distributed and communicates nothing).
+func Fig9(cfg Config) error {
+	cfg = cfg.withDefaults()
+	d, e, err := loadScaled(cfg, "toy")
+	if err != nil {
+		return err
+	}
+	type row struct {
+		label string
+		m     core.Method
+		place core.Placement
+	}
+	rows := []row{
+		{"Dis-SMO", core.MethodDisSMO, core.PlacementRoot},
+		{"Cascade", core.MethodCascade, core.PlacementRoot},
+		{"DC-SVM", core.MethodDCSVM, core.PlacementRoot},
+		{"DC-Filter", core.MethodDCFilter, core.PlacementRoot},
+		{"CP-SVM", core.MethodCPSVM, core.PlacementRoot},
+		{"casvm1", core.MethodRACA, core.PlacementRoot},
+		{"casvm2", core.MethodRACA, core.PlacementDistributed},
+	}
+	fmt.Fprintf(cfg.Out, "%-10s %12s %12s %14s\n", "Method", "CommSec", "CompSec", "Comm/Total")
+	for _, r := range rows {
+		p := paramsFor(cfg, r.m, e, cfg.P, d.M())
+		p.Placement = r.place
+		out, err := core.Train(d.X, d.Y, p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.label, err)
+		}
+		comm, comp := out.Stats.CommSec, out.Stats.CompSec
+		ratio := 0.0
+		if comm+comp > 0 {
+			ratio = comm / (comm + comp)
+		}
+		fmt.Fprintf(cfg.Out, "%-10s %11.5fs %11.5fs %13.1f%%\n", r.label, comm, comp, 100*ratio)
+	}
+	fmt.Fprintln(cfg.Out, "(paper: Dis-SMO ≈70% communication; casvm2 exactly 0%)")
+	return nil
+}

@@ -1,0 +1,169 @@
+package expt
+
+import (
+	"fmt"
+
+	"casvm/internal/core"
+	"casvm/internal/data"
+)
+
+// The scaling experiments mirror Tables XIX–XXII on the epsilon-like
+// workload. The paper sweeps 96→1536 physical cores; here the sweep is
+// 8→MaxP goroutine ranks with virtual time, which preserves the efficiency
+// shape (see DESIGN.md §6).
+
+func sweep(cfg Config) []int {
+	ps := []int{}
+	for p := 8; p <= cfg.MaxP; p *= 2 {
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// epsilonAt builds an epsilon-like training set with exactly m samples.
+func epsilonAt(cfg Config, m int) (*data.Dataset, data.Entry, error) {
+	e, ok := data.Registry()["epsilon"]
+	if !ok {
+		return nil, data.Entry{}, fmt.Errorf("missing epsilon")
+	}
+	spec := e.Spec
+	spec.Train = m
+	spec.Test = 0
+	d, err := data.Generate(spec)
+	return d, e, err
+}
+
+// scalingTimes runs the six methods over the P sweep and returns
+// times[method][i] = total virtual seconds at sweep(cfg)[i].
+func scalingTimes(cfg Config, mFor func(p int) int) (map[core.Method][]float64, error) {
+	times := map[core.Method][]float64{}
+	for _, p := range sweep(cfg) {
+		d, e, err := epsilonAt(cfg, mFor(p))
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range sixMethods() {
+			out, err := core.Train(d.X, d.Y, paramsFor(cfg, m, e, p, 128000))
+			if err != nil {
+				return nil, fmt.Errorf("%s P=%d: %w", m, p, err)
+			}
+			times[m] = append(times[m], out.Stats.TotalSec)
+		}
+	}
+	return times, nil
+}
+
+func printTimes(cfg Config, times map[core.Method][]float64) {
+	fmt.Fprintf(cfg.Out, "%-10s", "Processors")
+	for _, p := range sweep(cfg) {
+		fmt.Fprintf(cfg.Out, " %9d", p)
+	}
+	fmt.Fprintln(cfg.Out)
+	for _, m := range sixMethods() {
+		fmt.Fprintf(cfg.Out, "%-10s", methodLabel(m))
+		for _, t := range times[m] {
+			fmt.Fprintf(cfg.Out, " %8.3fs", t)
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+}
+
+func printEfficiency(cfg Config, times map[core.Method][]float64, strong bool) {
+	ps := sweep(cfg)
+	fmt.Fprintf(cfg.Out, "%-10s", "Processors")
+	for _, p := range ps {
+		fmt.Fprintf(cfg.Out, " %9d", p)
+	}
+	fmt.Fprintln(cfg.Out)
+	for _, m := range sixMethods() {
+		fmt.Fprintf(cfg.Out, "%-10s", methodLabel(m))
+		for i, t := range times[m] {
+			var eff float64
+			if t > 0 {
+				if strong {
+					// Strong scaling: E = T(P0)·P0 / (T(P)·P).
+					eff = times[m][0] * float64(ps[0]) / (t * float64(ps[i]))
+				} else {
+					// Weak scaling: E = T(P0)/T(P).
+					eff = times[m][0] / t
+				}
+			}
+			fmt.Fprintf(cfg.Out, " %8.1f%%", 100*eff)
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+}
+
+// strongM returns the fixed strong-scaling problem size.
+func strongM(cfg Config) int {
+	m := int(2048 * cfg.Scale)
+	if m < 16*cfg.MaxP {
+		m = 16 * cfg.MaxP // keep ≥16 samples per node at the largest P
+	}
+	return m
+}
+
+// weakPerNode returns the weak-scaling per-node sample count.
+func weakPerNode(cfg Config) int {
+	m := int(48 * cfg.Scale)
+	if m < 8 {
+		m = 8
+	}
+	return m
+}
+
+// Table19 reproduces Table XIX: strong-scaling total time.
+func Table19(cfg Config) error {
+	cfg = cfg.withDefaults()
+	m := strongM(cfg)
+	fmt.Fprintf(cfg.Out, "strong scaling: epsilon-like, %d samples total\n", m)
+	times, err := scalingTimes(cfg, func(int) int { return m })
+	if err != nil {
+		return err
+	}
+	printTimes(cfg, times)
+	fmt.Fprintln(cfg.Out, "(paper: CA-SVM time collapses with P; DC-SVM barely improves)")
+	return nil
+}
+
+// Table20 reproduces Table XX: strong-scaling efficiency.
+func Table20(cfg Config) error {
+	cfg = cfg.withDefaults()
+	m := strongM(cfg)
+	fmt.Fprintf(cfg.Out, "strong scaling efficiency: epsilon-like, %d samples total\n", m)
+	times, err := scalingTimes(cfg, func(int) int { return m })
+	if err != nil {
+		return err
+	}
+	printEfficiency(cfg, times, true)
+	fmt.Fprintln(cfg.Out, "(paper: CA-SVM exceeds 100% — superlinear, fewer iterations per node)")
+	return nil
+}
+
+// Table21 reproduces Table XXI: weak-scaling total time.
+func Table21(cfg Config) error {
+	cfg = cfg.withDefaults()
+	per := weakPerNode(cfg)
+	fmt.Fprintf(cfg.Out, "weak scaling: epsilon-like, %d samples per node\n", per)
+	times, err := scalingTimes(cfg, func(p int) int { return per * p })
+	if err != nil {
+		return err
+	}
+	printTimes(cfg, times)
+	fmt.Fprintln(cfg.Out, "(paper: CA-SVM time stays flat; the others grow with P)")
+	return nil
+}
+
+// Table22 reproduces Table XXII: weak-scaling efficiency.
+func Table22(cfg Config) error {
+	cfg = cfg.withDefaults()
+	per := weakPerNode(cfg)
+	fmt.Fprintf(cfg.Out, "weak scaling efficiency: epsilon-like, %d samples per node\n", per)
+	times, err := scalingTimes(cfg, func(p int) int { return per * p })
+	if err != nil {
+		return err
+	}
+	printEfficiency(cfg, times, false)
+	fmt.Fprintln(cfg.Out, "(paper: CA-SVM holds ≈95%; Dis-SMO/DC-SVM collapse)")
+	return nil
+}

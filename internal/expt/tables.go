@@ -1,0 +1,360 @@
+package expt
+
+import (
+	"fmt"
+
+	"casvm/internal/core"
+	"casvm/internal/data"
+	"casvm/internal/kernel"
+	"casvm/internal/perfmodel"
+	"casvm/internal/smo"
+)
+
+// Table3 reproduces Table III: SMO iterations versus sample count for the
+// epsilon-like and forest-like workloads, doubling m. The paper's claim is
+// iterations ∝ m; the printed ratio column makes the trend visible.
+func Table3(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(cfg.Out, "%-10s", "Samples")
+	sizes := []int{}
+	base := int(250 * cfg.Scale)
+	if base < 32 {
+		base = 32
+	}
+	for k := 0; k < 6; k++ {
+		sizes = append(sizes, base<<k)
+	}
+	for _, m := range sizes {
+		fmt.Fprintf(cfg.Out, " %8d", m)
+	}
+	fmt.Fprintln(cfg.Out)
+	for _, name := range []string{"epsilon", "forest"} {
+		e, ok := data.Registry()[name]
+		if !ok {
+			return fmt.Errorf("missing dataset %s", name)
+		}
+		fmt.Fprintf(cfg.Out, "%-10s", "Iters ("+name+")")
+		for _, m := range sizes {
+			spec := e.Spec
+			spec.Train = m
+			spec.Test = 0
+			d, err := data.Generate(spec)
+			if err != nil {
+				return err
+			}
+			res, err := smo.Solve(d.X, d.Y, smo.Config{C: e.C, Kernel: kernel.RBF(e.GammaOrDefault())}, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(cfg.Out, " %8d", res.Iters)
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+	fmt.Fprintln(cfg.Out, "(paper: iterations grow roughly linearly with samples)")
+	return nil
+}
+
+// Table4 prints the iso-efficiency bounds of Table IV plus the exponent
+// fitted from the closed-form Dis-SMO overhead model (eqn 10), verifying
+// the Ω(P³) communication bound.
+func Table4(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(cfg.Out, "%-18s %-18s %s\n", "Method", "Communication", "Computation")
+	for _, b := range perfmodel.TableIV() {
+		comm := fmt.Sprintf("W = Ω(P^%.0f)", b.CommExponent)
+		fmt.Fprintf(cfg.Out, "%-18s %-18s %s\n", b.Method, comm, b.Note)
+	}
+	ip := perfmodel.NormalizedIso(perfmodel.Hopper(), 2000)
+	ps := []int{96, 192, 384, 768, 1536, 3072}
+	ws := make([]float64, len(ps))
+	fmt.Fprintf(cfg.Out, "\nDis-SMO minimum W for 50%% efficiency (eqn 8+10, n=2000):\n")
+	for i, p := range ps {
+		ws[i] = ip.IsoefficiencyW(0.5, p)
+		fmt.Fprintf(cfg.Out, "  P=%-5d W=%.3g\n", p, ws[i])
+	}
+	fmt.Fprintf(cfg.Out, "fitted exponent b in W ∝ P^b: %.2f (paper bound: ≥... up to 3)\n",
+		perfmodel.FitExponent(ps, ws))
+	return nil
+}
+
+// Table5 reproduces Table V: the per-layer profile of an 8-node 4-layer
+// Cascade run on the toy dataset, showing the shrinking parallelism that
+// motivates CP-SVM (§IV-A).
+func Table5(cfg Config) error {
+	cfg = cfg.withDefaults()
+	d, e, err := loadScaled(cfg, "toy")
+	if err != nil {
+		return err
+	}
+	out, err := core.Train(d.X, d.Y, paramsFor(cfg, core.MethodCascade, e, cfg.P, d.M()))
+	if err != nil {
+		return err
+	}
+	var weightedNodes, totalTime float64
+	for _, l := range out.Stats.Layers {
+		fmt.Fprintf(cfg.Out, "level %d (%d nodes): time=%.4gs  maxIter=%d  SVs=%d\n",
+			l.Layer, len(l.Nodes), l.MaxTime(), l.MaxIters(), l.SumSVs())
+		fmt.Fprintf(cfg.Out, "  rank   :")
+		for _, n := range l.Nodes {
+			fmt.Fprintf(cfg.Out, " %7d", n.Rank)
+		}
+		fmt.Fprintf(cfg.Out, "\n  samples:")
+		for _, n := range l.Nodes {
+			fmt.Fprintf(cfg.Out, " %7d", n.Samples)
+		}
+		fmt.Fprintf(cfg.Out, "\n  iters  :")
+		for _, n := range l.Nodes {
+			fmt.Fprintf(cfg.Out, " %7d", n.Iters)
+		}
+		fmt.Fprintf(cfg.Out, "\n  SVs    :")
+		for _, n := range l.Nodes {
+			fmt.Fprintf(cfg.Out, " %7d", n.SVs)
+		}
+		fmt.Fprintln(cfg.Out)
+		weightedNodes += l.MaxTime() * float64(len(l.Nodes))
+		totalTime += l.MaxTime()
+	}
+	if totalTime > 0 {
+		fmt.Fprintf(cfg.Out, "weighted average nodes in use (eqn 13): %.1f of %d\n",
+			weightedNodes/totalTime, cfg.P)
+	}
+	return nil
+}
+
+// faceFCFSRun trains FCFS-CA on the face dataset with or without ratio
+// balancing, the shared workload of Tables VI–IX.
+func faceFCFSRun(cfg Config, ratio bool) (*core.Output, error) {
+	d, e, err := loadScaled(cfg, "face")
+	if err != nil {
+		return nil, err
+	}
+	p := paramsFor(cfg, core.MethodFCFSCA, e, cfg.P, d.M())
+	p.RatioBalanced = ratio
+	return core.Train(d.X, d.Y, p)
+}
+
+func printLoadTable(cfg Config, out *core.Output) {
+	st := out.Stats
+	order := ranksByTime(st.NodeTrainSec)
+	fmt.Fprintf(cfg.Out, "%-10s", "Rank")
+	for _, r := range order {
+		fmt.Fprintf(cfg.Out, " %8d", r)
+	}
+	fmt.Fprintf(cfg.Out, "\n%-10s", "Samples")
+	for _, r := range order {
+		fmt.Fprintf(cfg.Out, " %8d", st.PartSizes[r])
+	}
+	fmt.Fprintf(cfg.Out, "\n%-10s", "Iter")
+	for _, r := range order {
+		fmt.Fprintf(cfg.Out, " %8d", st.NodeIters[r])
+	}
+	fmt.Fprintf(cfg.Out, "\n%-10s", "Time (s)")
+	for _, r := range order {
+		fmt.Fprintf(cfg.Out, " %8.3f", st.NodeTrainSec[r])
+	}
+	fmt.Fprintln(cfg.Out)
+	slow, fast := st.NodeTrainSec[order[len(order)-1]], st.NodeTrainSec[order[0]]
+	if fast > 0 {
+		fmt.Fprintf(cfg.Out, "slowest/fastest node: %.1f×\n", slow/fast)
+	}
+}
+
+func printRatioTable(cfg Config, out *core.Output) {
+	st := out.Stats
+	fmt.Fprintf(cfg.Out, "%-5s %9s %8s %8s %9s | %6s %7s %7s %9s\n",
+		"Rank", "Samples", "#(+)", "#(-)", "(+)/(-)", "SVs", "SV(+)", "SV(-)", "(+)/(-)")
+	for r := 0; r < st.P; r++ {
+		ratio := 0.0
+		if st.NodeNeg[r] > 0 {
+			ratio = float64(st.NodePos[r]) / float64(st.NodeNeg[r])
+		}
+		svRatio := 0.0
+		if st.NodeSVNeg[r] > 0 {
+			svRatio = float64(st.NodeSVPos[r]) / float64(st.NodeSVNeg[r])
+		}
+		fmt.Fprintf(cfg.Out, "%-5d %9d %8d %8d %9.4f | %6d %7d %7d %9.4f\n",
+			r, st.PartSizes[r], st.NodePos[r], st.NodeNeg[r], ratio,
+			st.NodeSVPos[r]+st.NodeSVNeg[r], st.NodeSVPos[r], st.NodeSVNeg[r], svRatio)
+	}
+}
+
+// Table6 reproduces Table VI: FCFS balances data volume but not load.
+func Table6(cfg Config) error {
+	cfg = cfg.withDefaults()
+	out, err := faceFCFSRun(cfg, false)
+	if err != nil {
+		return err
+	}
+	printLoadTable(cfg, out)
+	fmt.Fprintln(cfg.Out, "(paper: balanced data ≠ balanced load)")
+	return nil
+}
+
+// Table7 reproduces Table VII: per-node class counts and SV ratios under
+// plain FCFS — the positive-sample skew explains the load imbalance.
+func Table7(cfg Config) error {
+	cfg = cfg.withDefaults()
+	out, err := faceFCFSRun(cfg, false)
+	if err != nil {
+		return err
+	}
+	printRatioTable(cfg, out)
+	fmt.Fprintln(cfg.Out, "(paper: pos/neg sample ratios differ wildly; SV ratios ≈ 1)")
+	return nil
+}
+
+// Table8 reproduces Table VIII: ratio-balanced FCFS equalises per-node
+// class counts.
+func Table8(cfg Config) error {
+	cfg = cfg.withDefaults()
+	out, err := faceFCFSRun(cfg, true)
+	if err != nil {
+		return err
+	}
+	printRatioTable(cfg, out)
+	fmt.Fprintln(cfg.Out, "(paper: all nodes share the global pos/neg ratio)")
+	return nil
+}
+
+// Table9 reproduces Table IX: balanced data + balanced ratio = balanced
+// load.
+func Table9(cfg Config) error {
+	cfg = cfg.withDefaults()
+	out, err := faceFCFSRun(cfg, true)
+	if err != nil {
+		return err
+	}
+	printLoadTable(cfg, out)
+	fmt.Fprintln(cfg.Out, "(paper: slowest/fastest drops from ~20× to ~1×)")
+	return nil
+}
+
+// commRun trains all six methods on the ijcnn workload and returns the
+// outputs, shared by Tables X and XI and Figs 8–9 use the toy set.
+func commRun(cfg Config, dataset string) (map[core.Method]*core.Output, *data.Dataset, data.Entry, error) {
+	d, e, err := loadScaled(cfg, dataset)
+	if err != nil {
+		return nil, nil, data.Entry{}, err
+	}
+	outs := map[core.Method]*core.Output{}
+	for _, m := range sixMethods() {
+		out, err := core.Train(d.X, d.Y, paramsFor(cfg, m, e, cfg.P, d.M()))
+		if err != nil {
+			return nil, nil, data.Entry{}, fmt.Errorf("%s: %w", m, err)
+		}
+		outs[m] = out
+	}
+	return outs, d, e, nil
+}
+
+// Table10 reproduces Table X: the closed-form communication-volume
+// formulas against the bytes actually moved through the message layer.
+func Table10(cfg Config) error {
+	cfg = cfg.withDefaults()
+	outs, d, _, err := commRun(cfg, "ijcnn")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "m=%d n=%d P=%d\n", d.M(), d.Features(), cfg.P)
+	fmt.Fprintf(cfg.Out, "%-10s %12s %12s %8s\n", "Method", "Prediction", "Measured", "Ratio")
+	for _, m := range sixMethods() {
+		out := outs[m]
+		in := perfmodel.VolumeInput{
+			M: d.M(), N: d.Features(), P: cfg.P,
+			S: out.Stats.SVs, I: out.Stats.Iters, K: out.Stats.KMeansIters,
+		}
+		pred := perfmodel.VolumeByMethod(volumeName(m), in)
+		meas := out.Stats.CommBytes
+		ratio := "n/a"
+		if pred > 0 {
+			ratio = fmt.Sprintf("%.2f", float64(meas)/float64(pred))
+		}
+		fmt.Fprintf(cfg.Out, "%-10s %12s %12s %8s\n",
+			methodLabel(m), fmtBytes(int64(pred)), fmtBytes(meas), ratio)
+	}
+	fmt.Fprintln(cfg.Out, "(paper: predictions track measurements; CA-SVM is exactly 0)")
+	return nil
+}
+
+func volumeName(m core.Method) string {
+	if m == core.MethodRACA {
+		return "casvm"
+	}
+	return string(m)
+}
+
+// Table11 reproduces Table XI: message counts and volume per operation.
+func Table11(cfg Config) error {
+	cfg = cfg.withDefaults()
+	outs, _, _, err := commRun(cfg, "ijcnn")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "%-10s %10s %14s %18s\n", "Method", "Amount", "Comm Ops", "Amount/Operation")
+	for _, m := range sixMethods() {
+		st := outs[m].Stats
+		perOp := "N/A"
+		if st.CommOps > 0 {
+			perOp = fmt.Sprintf("%.0fB", float64(st.CommBytes)/float64(st.CommOps))
+		}
+		fmt.Fprintf(cfg.Out, "%-10s %10s %14d %18s\n",
+			methodLabel(m), fmtBytes(st.CommBytes), st.CommOps, perOp)
+	}
+	fmt.Fprintln(cfg.Out, "(paper: Dis-SMO sends hundreds of thousands of tiny messages)")
+	return nil
+}
+
+// Table12 prints the dataset inventory (Table XII): the paper's original
+// scale and the synthetic stand-in actually used here.
+func Table12(cfg Config) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(cfg.Out, "%-9s %-24s %12s %10s | %10s %9s %7s\n",
+		"Dataset", "Application Field", "#samples", "#features", "synth m", "synth n", "pos%")
+	for _, name := range data.Names() {
+		d, e, err := loadScaled(cfg, name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "%-9s %-24s %12d %10d | %10d %9d %6.1f%%\n",
+			name, e.Field, e.PaperSamples, e.PaperFeatures,
+			d.M(), d.Features(), 100*d.PosFrac())
+	}
+	return nil
+}
+
+// DatasetTable builds the runner for one of Tables XIII–XVIII: all eight
+// methods on the named dataset, reporting accuracy, iterations and virtual
+// time split into Init and Training.
+func DatasetTable(name string) func(cfg Config) error {
+	return func(cfg Config) error {
+		cfg = cfg.withDefaults()
+		d, e, err := loadScaled(cfg, name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "dataset=%s m=%d n=%d P=%d (virtual seconds, Hopper model)\n",
+			name, d.M(), d.Features(), cfg.P)
+		fmt.Fprintf(cfg.Out, "%-10s %9s %11s %22s %9s\n",
+			"Method", "Accuracy", "Iterations", "Time (Init, Training)", "Speedup")
+		var base float64
+		for _, m := range core.Methods() {
+			out, err := core.Train(d.X, d.Y, paramsFor(cfg, m, e, cfg.P, d.M()))
+			if err != nil {
+				return fmt.Errorf("%s: %w", m, err)
+			}
+			acc := out.Set.Accuracy(d.TestX, d.TestY)
+			total := out.Stats.TotalSec
+			if m == core.MethodDisSMO {
+				base = total
+			}
+			speedup := ""
+			if base > 0 && total > 0 {
+				speedup = fmt.Sprintf("%.2fx", base/total)
+			}
+			fmt.Fprintf(cfg.Out, "%-10s %8.1f%% %11d %9.3fs (%0.4f, %0.3f) %8s\n",
+				methodLabel(m), 100*acc, out.Stats.Iters, total,
+				out.Stats.InitSec, out.Stats.TrainSec, speedup)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,104 @@
+package kernel
+
+import (
+	"container/list"
+
+	"casvm/internal/la"
+)
+
+// RowCache is an LRU cache of kernel rows K(i, ·) over a fixed training
+// matrix. The SMO solver touches two rows per iteration (the high and low
+// working-set indices); because violating pairs repeat heavily, a modest
+// cache eliminates most kernel-row recomputation — the same optimisation
+// LIBSVM and the paper's shared-memory SMO rely on.
+//
+// RowCache is not safe for concurrent use; each solver owns one.
+type RowCache struct {
+	params Params
+	data   *la.Matrix
+
+	capacity int                   // max rows kept
+	rows     map[int]*list.Element // index -> LRU entry
+	lru      *list.List            // front = most recent; values are *cacheEntry
+	threads  int                   // intra-node workers for row fills
+
+	// Stats.
+	hits, misses int64
+	flops        float64 // flops charged by misses
+}
+
+// SetThreads lets cache misses compute rows with up to t goroutines
+// (kernel.RowParallel). 0 or 1 keeps the serial path.
+func (c *RowCache) SetThreads(t int) { c.threads = t }
+
+type cacheEntry struct {
+	index int
+	row   []float64
+}
+
+// NewRowCache creates a cache over the given matrix holding at most
+// capacity rows (minimum 2, since SMO needs the high and low rows live at
+// once).
+func NewRowCache(p Params, data *la.Matrix, capacity int) *RowCache {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &RowCache{
+		params:   p,
+		data:     data,
+		capacity: capacity,
+		rows:     make(map[int]*list.Element, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Row returns the kernel row K(i, ·) of length data.Rows(). The returned
+// slice is owned by the cache and must not be modified or retained across
+// further Row calls.
+func (c *RowCache) Row(i int) []float64 {
+	if el, ok := c.rows[i]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).row
+	}
+	c.misses++
+	var entry *cacheEntry
+	if c.lru.Len() >= c.capacity {
+		// Evict the least recently used entry, reusing its buffer.
+		el := c.lru.Back()
+		entry = el.Value.(*cacheEntry)
+		delete(c.rows, entry.index)
+		c.lru.Remove(el)
+	} else {
+		entry = &cacheEntry{row: make([]float64, c.data.Rows())}
+	}
+	entry.index = i
+	c.flops += c.params.RowParallel(c.data, i, entry.row, c.threads)
+	c.rows[i] = c.lru.PushFront(entry)
+	return entry.row
+}
+
+// Diag returns the kernel diagonal K(i,i) without touching the cache; for
+// the Gaussian kernel this is exactly 1.
+func (c *RowCache) Diag(i int) float64 {
+	if c.params.Kind == Gaussian {
+		return 1
+	}
+	return c.params.Eval(c.data, i, c.data, i)
+}
+
+// Stats returns (hits, misses, flops charged by misses).
+func (c *RowCache) Stats() (hits, misses int64, flops float64) {
+	return c.hits, c.misses, c.flops
+}
+
+// ResetFlops zeroes the flop counter and returns the previous value. The
+// solver drains this per iteration to charge virtual time.
+func (c *RowCache) ResetFlops() float64 {
+	f := c.flops
+	c.flops = 0
+	return f
+}
+
+// Len returns the number of rows currently cached.
+func (c *RowCache) Len() int { return c.lru.Len() }

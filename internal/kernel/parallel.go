@@ -1,0 +1,85 @@
+package kernel
+
+import (
+	"math"
+	"sync"
+
+	"casvm/internal/la"
+)
+
+// Intra-node parallelism: the paper's implementation fans the SMO hot loop
+// out with OpenMP inside each MPI rank; this file is the goroutine
+// analogue. Kernel-row computation is embarrassingly parallel over the
+// target rows, so RowParallel splits the row range across workers.
+
+// parallelThreshold is the minimum row count worth spawning goroutines
+// for; below it the coordination costs more than the arithmetic.
+const parallelThreshold = 2048
+
+// RowParallel computes K(i, ·) like Row, splitting the work across up to
+// `threads` goroutines. Results are identical to Row (each output element
+// is computed independently). Returns the flop count charged.
+func (p Params) RowParallel(a *la.Matrix, i int, dst []float64, threads int) float64 {
+	m := a.Rows()
+	if threads <= 1 || m < parallelThreshold {
+		return p.Row(a, i, dst)
+	}
+	if p.Kind == Gaussian {
+		a.EnsureNorms() // not goroutine-safe lazily; force it up front
+	}
+	dst = dst[:m]
+	chunk := (m + threads - 1) / threads
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			p.rowRange(a, i, dst, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	if a.Sparse() {
+		ix, _ := a.SparseRow(i)
+		return float64(2*len(ix)*m + m)
+	}
+	return float64(2*a.Features()*m + m)
+}
+
+// rowRange fills dst[lo:hi] with K(i, j) for j in [lo, hi).
+func (p Params) rowRange(a *la.Matrix, i int, dst []float64, lo, hi int) {
+	if a.Sparse() {
+		ix, vx := a.SparseRow(i)
+		for j := lo; j < hi; j++ {
+			ji, jv := a.SparseRow(j)
+			dot := la.SpDot(ix, vx, ji, jv)
+			if p.Kind == Gaussian {
+				d := a.SqNormRow(i) + a.SqNormRow(j) - 2*dot
+				if d < 0 {
+					d = 0
+				}
+				dst[j] = math.Exp(-p.Gamma * d)
+			} else {
+				dst[j] = p.fromDot(dot, 0)
+			}
+		}
+		return
+	}
+	xi := a.DenseRow(i)
+	if p.Kind == Gaussian {
+		for j := lo; j < hi; j++ {
+			dst[j] = math.Exp(-p.Gamma * la.SqDist(xi, a.DenseRow(j)))
+		}
+	} else {
+		for j := lo; j < hi; j++ {
+			dst[j] = p.fromDot(la.Dot(xi, a.DenseRow(j)), 0)
+		}
+	}
+}

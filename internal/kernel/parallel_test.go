@@ -1,0 +1,68 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRowParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, mat := range []int{0, 1} { // dense, sparse
+		var a = denseMat(rng, 3000, 12)
+		if mat == 1 {
+			a = sparseMat(rng, 3000, 40, 0.25)
+		}
+		for _, p := range []Params{RBF(0.1), {Kind: Linear}, {Kind: Polynomial, Coef: 1, Degree: 2}} {
+			serial := make([]float64, a.Rows())
+			par := make([]float64, a.Rows())
+			fs := p.Row(a, 7, serial)
+			fp := p.RowParallel(a, 7, par, 4)
+			if fs != fp {
+				t.Errorf("kind=%v sparse=%v: flops %v vs %v", p.Kind, a.Sparse(), fs, fp)
+			}
+			for j := range serial {
+				if serial[j] != par[j] {
+					t.Fatalf("kind=%v sparse=%v: row[%d] %v vs %v", p.Kind, a.Sparse(), j, serial[j], par[j])
+				}
+			}
+		}
+	}
+}
+
+func TestRowParallelSmallFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	a := denseMat(rng, 100, 5)
+	dst := make([]float64, 100)
+	// Small matrix: must not spawn but still produce correct values.
+	p := RBF(0.5)
+	p.RowParallel(a, 3, dst, 8)
+	want := make([]float64, 100)
+	p.Row(a, 3, want)
+	for j := range want {
+		if dst[j] != want[j] {
+			t.Fatal("fallback path wrong")
+		}
+	}
+}
+
+func TestCacheWithThreads(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	a := denseMat(rng, 2500, 8)
+	c1 := NewRowCache(RBF(0.2), a, 8)
+	c4 := NewRowCache(RBF(0.2), a, 8)
+	c4.SetThreads(4)
+	for _, i := range []int{0, 100, 2499, 0} {
+		r1 := c1.Row(i)
+		r4 := c4.Row(i)
+		for j := range r1 {
+			if r1[j] != r4[j] {
+				t.Fatalf("threaded cache differs at row %d col %d", i, j)
+			}
+		}
+	}
+	_, m1, f1 := c1.Stats()
+	_, m4, f4 := c4.Stats()
+	if m1 != m4 || f1 != f4 {
+		t.Fatal("miss/flop accounting must not depend on threads")
+	}
+}

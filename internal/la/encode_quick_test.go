@@ -1,0 +1,130 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: EncodeRows/DecodeMatrix round-trips any dense matrix up to
+// float32 quantisation, for arbitrary shapes and row selections.
+func TestEncodeDecodeDenseProperty(t *testing.T) {
+	f := func(seed int64, mu, nu uint8) bool {
+		m := int(mu)%12 + 1
+		n := int(nu)%9 + 1
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]float64, m*n)
+		for i := range data {
+			data[i] = rng.NormFloat64() * 100
+		}
+		a := NewDense(m, n, data)
+		rows := rng.Perm(m)[:rng.Intn(m)+1]
+		b, err := DecodeMatrix(a.EncodeRows(rows))
+		if err != nil {
+			return false
+		}
+		if b.Rows() != len(rows) || b.Features() != n {
+			return false
+		}
+		for k, r := range rows {
+			for j := 0; j < n; j++ {
+				if b.At(k, j) != float64(float32(a.At(r, j))) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sparse round trip preserves structure exactly (indices) and
+// values to float32.
+func TestEncodeDecodeSparseProperty(t *testing.T) {
+	f := func(seed int64, mu, nu uint8) bool {
+		m := int(mu)%10 + 1
+		n := int(nu)%20 + 2
+		rng := rand.New(rand.NewSource(seed))
+		rp := make([]int32, m+1)
+		var ix []int32
+		var vx []float64
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					ix = append(ix, int32(j))
+					vx = append(vx, rng.NormFloat64())
+				}
+			}
+			rp[i+1] = int32(len(ix))
+		}
+		a := NewSparse(m, n, rp, ix, vx)
+		b, err := DecodeMatrix(a.EncodeAll())
+		if err != nil || !b.Sparse() || b.NNZ() != a.NNZ() {
+			return false
+		}
+		for i := 0; i < m; i++ {
+			ai, av := a.SparseRow(i)
+			bi, bv := b.SparseRow(i)
+			if len(ai) != len(bi) {
+				return false
+			}
+			for k := range ai {
+				if ai[k] != bi[k] || bv[k] != float64(float32(av[k])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the EncodedSize prediction always matches the produced buffer.
+func TestEncodedSizeProperty(t *testing.T) {
+	f := func(seed int64, mu uint8) bool {
+		m := int(mu)%15 + 1
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]float64, m*3)
+		for i := range data {
+			data[i] = rng.Float64()
+		}
+		a := NewDense(m, 3, data)
+		rows := rng.Perm(m)[:rng.Intn(m)+1]
+		return a.EncodedSize(rows) == len(a.EncodeRows(rows))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decoding corrupted headers never panics, only errors.
+func TestDecodeCorruptionSafety(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := NewDense(4, 3, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	buf := a.EncodeAll()
+	for trial := 0; trial < 300; trial++ {
+		corrupted := append([]byte(nil), buf...)
+		// Flip a few random bytes.
+		for k := 0; k < 3; k++ {
+			corrupted[rng.Intn(len(corrupted))] ^= byte(1 << rng.Intn(8))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("DecodeMatrix panicked on corrupted input: %v", r)
+				}
+			}()
+			m, err := DecodeMatrix(corrupted)
+			_ = m
+			_ = err // either outcome is fine; panicking is not
+		}()
+	}
+	if math.IsNaN(0) {
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,43 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"casvm/internal/kernel"
+	"casvm/internal/la"
+)
+
+// FuzzLoadSet asserts the model-file parser never panics and that any set
+// it accepts can actually predict.
+func FuzzLoadSet(f *testing.F) {
+	// A well-formed file as the anchor seed.
+	x := la.NewDense(2, 2, []float64{1, 2, -1, -2})
+	m := FromSolution(x, []float64{1, -1}, []float64{0.5, 0.5}, 0.1, kernel.RBF(0.5))
+	var buf bytes.Buffer
+	if err := SaveSet(&buf, Single(m, []float64{0, 0})); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("casvm-model-set v1\nmodels 1\n")
+	f.Add("casvm-model-set v1\nmodels 999999\nfeatures 2\n")
+	f.Add(strings.Replace(buf.String(), "gaussian", "bogus", 1))
+	f.Add(strings.Replace(buf.String(), "nsv 2", "nsv 99", 1))
+
+	f.Fuzz(func(t *testing.T, in string) {
+		set, err := LoadSet(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if set.P() < 1 {
+			t.Fatal("accepted a set with no models")
+		}
+		q := la.NewDense(1, set.Centers.Features(), make([]float64, set.Centers.Features()))
+		pred := set.Predict(q, 0)
+		if pred != 1 && pred != -1 {
+			t.Fatalf("prediction %v not ±1", pred)
+		}
+	})
+}

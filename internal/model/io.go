@@ -1,0 +1,194 @@
+package model
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"casvm/internal/kernel"
+	"casvm/internal/la"
+)
+
+// Text model-file format, in the spirit of LIBSVM model files:
+//
+//	casvm-model-set v1
+//	models <P>
+//	features <n>
+//	kernel <kind> gamma <g> coef <r> scale <a> degree <d>
+//	centers
+//	<P lines of n space-separated floats>
+//	model <j> nsv <k> bias <b> fallback <±1>
+//	<k lines: "<alpha> <y> <idx>:<val> ...">   (1-based sparse indices)
+//
+// Both dense and sparse SV storage serialise to sparse rows; loading
+// produces sparse SV matrices.
+
+// SaveSet writes the model set in the text format above.
+func SaveSet(w io.Writer, s *Set) error {
+	bw := bufio.NewWriter(w)
+	n := s.Centers.Features()
+	fmt.Fprintf(bw, "casvm-model-set v1\n")
+	fmt.Fprintf(bw, "models %d\n", s.P())
+	fmt.Fprintf(bw, "features %d\n", n)
+	k := s.Models[0].Kernel
+	fmt.Fprintf(bw, "kernel %s gamma %g coef %g scale %g degree %d\n",
+		k.Kind, k.Gamma, k.Coef, k.ScaleA, k.Degree)
+	fmt.Fprintf(bw, "centers\n")
+	for c := 0; c < s.Centers.Rows(); c++ {
+		row := s.Centers.DenseRow(c)
+		for j, v := range row {
+			if j > 0 {
+				bw.WriteByte(' ')
+			}
+			fmt.Fprintf(bw, "%g", v)
+		}
+		bw.WriteByte('\n')
+	}
+	for j, m := range s.Models {
+		fmt.Fprintf(bw, "model %d nsv %d bias %g fallback %g\n", j, m.NSV(), m.B, m.Fallback)
+		for i := 0; i < m.NSV(); i++ {
+			fmt.Fprintf(bw, "%g %g", m.Alpha[i], m.SVY[i])
+			if m.SVX.Sparse() {
+				ix, vx := m.SVX.SparseRow(i)
+				for t, col := range ix {
+					fmt.Fprintf(bw, " %d:%g", col+1, vx[t])
+				}
+			} else {
+				for col, v := range m.SVX.DenseRow(i) {
+					if v != 0 {
+						fmt.Fprintf(bw, " %d:%g", col+1, v)
+					}
+				}
+			}
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadSet parses a model set written by SaveSet.
+func LoadSet(r io.Reader) (*Set, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	next := func() (string, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return "", err
+			}
+			return "", io.ErrUnexpectedEOF
+		}
+		return sc.Text(), nil
+	}
+	line, err := next()
+	if err != nil || line != "casvm-model-set v1" {
+		return nil, fmt.Errorf("model: bad header %q (%v)", line, err)
+	}
+	var p, n int
+	if line, err = next(); err != nil || strings.HasPrefix(line, "models ") == false {
+		return nil, fmt.Errorf("model: want models line, got %q (%v)", line, err)
+	}
+	if _, err = fmt.Sscanf(line, "models %d", &p); err != nil {
+		return nil, err
+	}
+	if line, err = next(); err != nil {
+		return nil, err
+	}
+	if _, err = fmt.Sscanf(line, "features %d", &n); err != nil {
+		return nil, err
+	}
+	if p < 1 || n < 1 {
+		return nil, fmt.Errorf("model: bad dims p=%d n=%d", p, n)
+	}
+	if line, err = next(); err != nil {
+		return nil, err
+	}
+	var kindStr string
+	var kp kernel.Params
+	if _, err = fmt.Sscanf(line, "kernel %s gamma %g coef %g scale %g degree %d",
+		&kindStr, &kp.Gamma, &kp.Coef, &kp.ScaleA, &kp.Degree); err != nil {
+		return nil, fmt.Errorf("model: kernel line %q: %v", line, err)
+	}
+	if kp.Kind, err = kernel.ParseKind(kindStr); err != nil {
+		return nil, err
+	}
+	if line, err = next(); err != nil || line != "centers" {
+		return nil, fmt.Errorf("model: want centers, got %q (%v)", line, err)
+	}
+	centerData := make([]float64, 0, p*n)
+	for c := 0; c < p; c++ {
+		if line, err = next(); err != nil {
+			return nil, err
+		}
+		fields := strings.Fields(line)
+		if len(fields) != n {
+			return nil, fmt.Errorf("model: center %d has %d values, want %d", c, len(fields), n)
+		}
+		for _, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, err
+			}
+			centerData = append(centerData, v)
+		}
+	}
+	set := &Set{Centers: la.NewDense(p, n, centerData)}
+	for j := 0; j < p; j++ {
+		if line, err = next(); err != nil {
+			return nil, err
+		}
+		var jj, nsv int
+		var bias, fallback float64
+		if _, err = fmt.Sscanf(line, "model %d nsv %d bias %g fallback %g", &jj, &nsv, &bias, &fallback); err != nil {
+			return nil, fmt.Errorf("model: model line %q: %v", line, err)
+		}
+		if jj != j {
+			return nil, fmt.Errorf("model: out-of-order model %d, want %d", jj, j)
+		}
+		m := &Model{Kernel: kp, B: bias, Fallback: fallback}
+		rowptr := make([]int32, 1, nsv+1)
+		var idx []int32
+		var val []float64
+		m.SVY = make([]float64, nsv)
+		m.Alpha = make([]float64, nsv)
+		for i := 0; i < nsv; i++ {
+			if line, err = next(); err != nil {
+				return nil, err
+			}
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("model: sv line %q", line)
+			}
+			if m.Alpha[i], err = strconv.ParseFloat(fields[0], 64); err != nil {
+				return nil, err
+			}
+			if m.SVY[i], err = strconv.ParseFloat(fields[1], 64); err != nil {
+				return nil, err
+			}
+			for _, f := range fields[2:] {
+				colon := strings.IndexByte(f, ':')
+				if colon <= 0 {
+					return nil, fmt.Errorf("model: sv feature %q", f)
+				}
+				col, err := strconv.Atoi(f[:colon])
+				if err != nil || col < 1 || col > n {
+					return nil, fmt.Errorf("model: sv index %q", f[:colon])
+				}
+				v, err := strconv.ParseFloat(f[colon+1:], 64)
+				if err != nil {
+					return nil, err
+				}
+				idx = append(idx, int32(col-1))
+				val = append(val, v)
+			}
+			rowptr = append(rowptr, int32(len(idx)))
+		}
+		m.SVX = la.NewSparse(nsv, n, rowptr, idx, val)
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		set.Models = append(set.Models, m)
+	}
+	return set, nil
+}

@@ -1,0 +1,111 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"casvm/internal/perfmodel"
+)
+
+// Virtual clocks must be monotonic within a rank and never run behind a
+// message's send stamp, for arbitrary random communication schedules.
+func TestClockMonotonicityUnderRandomTraffic(t *testing.T) {
+	f := func(seed int64, pu uint8) bool {
+		p := int(pu)%5 + 2
+		w := NewWorld(p, perfmodel.Hopper(), seed)
+		violation := make([]bool, p)
+		err := w.Run(func(c *Comm) error {
+			rng := rand.New(rand.NewSource(seed + int64(c.Rank())))
+			last := c.Clock()
+			check := func() {
+				if c.Clock() < last {
+					violation[c.Rank()] = true
+				}
+				last = c.Clock()
+			}
+			// A randomized but deterministic schedule: everyone runs the
+			// same number of rounds of (compute, allreduce) with random
+			// local compute, so clocks diverge and must re-sync.
+			for round := 0; round < 8; round++ {
+				c.Charge(float64(rng.Intn(100000)))
+				check()
+				c.AllreduceSum([]float64{float64(c.Rank())})
+				check()
+				c.Barrier()
+				check()
+			}
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		for _, v := range violation {
+			if v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// After a barrier, every rank's clock is at least the pre-barrier max.
+func TestBarrierSynchronisesClocks(t *testing.T) {
+	const p = 6
+	w := NewWorld(p, perfmodel.Hopper(), 1)
+	pre := make([]float64, p)
+	post := make([]float64, p)
+	err := w.Run(func(c *Comm) error {
+		// Rank r computes r units of work: clocks diverge.
+		c.Charge(float64(c.Rank()) * 1e8)
+		pre[c.Rank()] = c.Clock()
+		c.Barrier()
+		post[c.Rank()] = c.Clock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxPre float64
+	for _, v := range pre {
+		if v > maxPre {
+			maxPre = v
+		}
+	}
+	for r, v := range post {
+		if v < maxPre {
+			t.Errorf("rank %d post-barrier clock %v < global pre max %v", r, v, maxPre)
+		}
+	}
+}
+
+// Gatherv must deliver every block intact for arbitrary sizes and roots.
+func TestGathervProperty(t *testing.T) {
+	f := func(seed int64, pu, root uint8) bool {
+		p := int(pu)%6 + 1
+		r := int(root) % p
+		w := NewWorld(p, perfmodel.Hopper(), seed)
+		ok := true
+		err := w.Run(func(c *Comm) error {
+			payload := []byte(fmt.Sprintf("rank-%d-seed-%d", c.Rank(), seed))
+			out := c.Gatherv(r, payload)
+			if c.Rank() == r {
+				for src, b := range out {
+					want := fmt.Sprintf("rank-%d-seed-%d", src, seed)
+					if string(b) != want {
+						ok = false
+					}
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,338 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+
+	"casvm/internal/la"
+)
+
+// Comm is one rank's handle onto the world: its identity, its virtual
+// clock, its deterministic RNG, and the communication operations. A Comm is
+// confined to the goroutine Run started for it.
+type Comm struct {
+	world *World
+	rank  int
+	rng   *rand.Rand
+
+	clock   float64 // virtual seconds
+	collSeq int     // collective sequence number; identical across ranks
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size P.
+func (c *Comm) Size() int { return c.world.p }
+
+// RNG returns this rank's deterministic random stream.
+func (c *Comm) RNG() *rand.Rand { return c.rng }
+
+// Clock returns the rank's current virtual time in seconds.
+func (c *Comm) Clock() float64 { return c.clock }
+
+// Charge advances the virtual clock by the modeled time of f flops and
+// books it as computation.
+func (c *Comm) Charge(flops float64) {
+	sec := c.world.machine.Compute(flops)
+	c.clock += sec
+	c.world.stats.AddComp(c.rank, sec)
+}
+
+// ChargeTime advances the virtual clock by sec seconds of computation
+// directly (used when a cost is known in time rather than flops).
+func (c *Comm) ChargeTime(sec float64) {
+	c.clock += sec
+	c.world.stats.AddComp(c.rank, sec)
+}
+
+// chargeComm advances the clock by sec and books it as communication.
+func (c *Comm) chargeComm(sec float64) {
+	c.clock += sec
+	c.world.stats.AddComm(c.rank, sec)
+}
+
+// tag space: user tags must stay below collTagBase; collective-internal
+// tags encode the collective sequence number so that consecutive
+// collectives cannot cross-match.
+const collTagBase = 1 << 24
+
+func checkUserTag(tag int) {
+	if tag < 0 || tag >= collTagBase {
+		panic(fmt.Sprintf("mpi: user tag %d out of range [0,%d)", tag, collTagBase))
+	}
+}
+
+// Send transfers data to rank dst with the given tag. The sender pays the
+// α–β cost; data is retained by the runtime, so the caller must not modify
+// it afterwards.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	checkUserTag(tag)
+	c.send(dst, tag, data)
+}
+
+func (c *Comm) send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= c.world.p {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
+	}
+	if dst == c.rank {
+		// Local delivery: no network cost, no accounting.
+		c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: data, clock: c.clock})
+		return
+	}
+	cost := c.world.machine.PtoP(len(data))
+	c.chargeComm(cost)
+	c.world.stats.RecordSend(c.rank, dst, len(data))
+	c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: data, clock: c.clock})
+}
+
+// Recv blocks until a message with the given tag arrives from src
+// (AnySource matches anyone) and returns its payload. The receiver's clock
+// advances to at least the sender's post-send clock.
+func (c *Comm) Recv(src, tag int) []byte {
+	checkUserTag(tag)
+	m := c.recv(src, tag)
+	return m.data
+}
+
+// RecvFrom is Recv but also reports the sending rank, for AnySource.
+func (c *Comm) RecvFrom(src, tag int) ([]byte, int) {
+	checkUserTag(tag)
+	m := c.recv(src, tag)
+	return m.data, m.src
+}
+
+func (c *Comm) recv(src, tag int) message {
+	m := c.world.boxes[c.rank].take(src, tag)
+	if m.clock > c.clock {
+		c.world.stats.AddComm(c.rank, m.clock-c.clock)
+		c.clock = m.clock
+	}
+	return m
+}
+
+// SendF64 sends a []float64 at full precision.
+func (c *Comm) SendF64(dst, tag int, x []float64) { c.Send(dst, tag, la.EncodeF64(x)) }
+
+// RecvF64 receives a []float64 sent with SendF64.
+func (c *Comm) RecvF64(src, tag int) []float64 {
+	x, err := la.DecodeF64(c.Recv(src, tag))
+	if err != nil {
+		panic(fmt.Sprintf("mpi: rank %d RecvF64: %v", c.rank, err))
+	}
+	return x
+}
+
+// nextCollTag reserves a fresh internal tag range for one collective call.
+// All ranks call collectives in the same order, so sequence numbers agree.
+func (c *Comm) nextCollTag() int {
+	c.collSeq++
+	return collTagBase + c.collSeq
+}
+
+// Barrier blocks until every rank has entered it. Implemented as a
+// binomial-tree gather of empty messages followed by a broadcast.
+func (c *Comm) Barrier() {
+	tag := c.nextCollTag()
+	c.treeGatherSignal(tag)
+	c.treeBcastBytes(0, tag, nil)
+}
+
+// treeGatherSignal performs a binomial-tree reduction of empty messages to
+// rank 0 (used by Barrier).
+func (c *Comm) treeGatherSignal(tag int) {
+	p, r := c.world.p, c.rank
+	for step := 1; step < p; step <<= 1 {
+		if r&step != 0 {
+			c.send(r-step, tag, nil)
+			return
+		}
+		if r+step < p {
+			c.recv(r+step, tag)
+		}
+	}
+}
+
+// treeBcastBytes broadcasts data from root using a binomial tree rooted at
+// rank `root` (implemented by rotating ranks so the root maps to 0).
+// Returns the received payload on non-roots.
+func (c *Comm) treeBcastBytes(root, tag int, data []byte) []byte {
+	p := c.world.p
+	vr := (c.rank - root + p) % p // virtual rank: root is 0
+	if vr != 0 {
+		// In a binomial broadcast, virtual rank vr receives from vr with
+		// its highest set bit cleared.
+		top := 1
+		for top<<1 <= vr {
+			top <<= 1
+		}
+		src := (vr - top + root) % p
+		m := c.recv(src, tag)
+		data = m.data
+	}
+	// Forward to children: vr + step for steps above our top bit.
+	start := 1
+	if vr != 0 {
+		top := 1
+		for top<<1 <= vr {
+			top <<= 1
+		}
+		start = top << 1
+	}
+	for step := start; vr+step < p; step <<= 1 {
+		dst := (vr + step + root) % p
+		c.send(dst, tag, data)
+	}
+	return data
+}
+
+// Bcast broadcasts data from root to all ranks; every rank returns the
+// payload (the root returns its own argument).
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	tag := c.nextCollTag()
+	if c.rank != root {
+		data = nil
+	}
+	return c.treeBcastBytes(root, tag, data)
+}
+
+// BcastF64 broadcasts a []float64 from root; all ranks return it.
+func (c *Comm) BcastF64(root int, x []float64) []float64 {
+	var buf []byte
+	if c.rank == root {
+		buf = la.EncodeF64(x)
+	}
+	buf = c.Bcast(root, buf)
+	out, err := la.DecodeF64(buf)
+	if err != nil {
+		panic(fmt.Sprintf("mpi: BcastF64: %v", err))
+	}
+	return out
+}
+
+// Scatterv sends blocks[i] to rank i from root (linear scatter, as in MPI's
+// default for irregular block sizes); each rank returns its block.
+func (c *Comm) Scatterv(root int, blocks [][]byte) []byte {
+	tag := c.nextCollTag()
+	if c.rank == root {
+		if len(blocks) != c.world.p {
+			panic(fmt.Sprintf("mpi: Scatterv needs %d blocks, got %d", c.world.p, len(blocks)))
+		}
+		for dst := 0; dst < c.world.p; dst++ {
+			if dst != root {
+				c.send(dst, tag, blocks[dst])
+			}
+		}
+		return blocks[root]
+	}
+	return c.recv(root, tag).data
+}
+
+// Gatherv collects each rank's data at root; root returns the P blocks in
+// rank order, others return nil.
+func (c *Comm) Gatherv(root int, data []byte) [][]byte {
+	tag := c.nextCollTag()
+	if c.rank != root {
+		c.send(root, tag, data)
+		return nil
+	}
+	out := make([][]byte, c.world.p)
+	out[root] = data
+	for i := 0; i < c.world.p-1; i++ {
+		m := c.recv(AnySource, tag)
+		out[m.src] = m.data
+	}
+	return out
+}
+
+// Alltoallv performs a personalized all-to-all exchange: rank r's
+// blocks[d] is delivered to rank d, and the call returns the P blocks this
+// rank received, indexed by source. The self-block is passed through
+// locally without network cost. Receives are posted per source in rank
+// order so that back-to-back Alltoallv calls cannot steal each other's
+// messages.
+func (c *Comm) Alltoallv(blocks [][]byte) [][]byte {
+	p := c.world.p
+	if len(blocks) != p {
+		panic(fmt.Sprintf("mpi: Alltoallv needs %d blocks, got %d", p, len(blocks)))
+	}
+	tag := c.nextCollTag()
+	for dst := 0; dst < p; dst++ {
+		if dst != c.rank {
+			c.send(dst, tag, blocks[dst])
+		}
+	}
+	out := make([][]byte, p)
+	out[c.rank] = blocks[c.rank]
+	for src := 0; src < p; src++ {
+		if src == c.rank {
+			continue
+		}
+		out[src] = c.recv(src, tag).data
+	}
+	return out
+}
+
+// Allgatherv gathers every rank's block on all ranks (gather + broadcast of
+// the concatenation with a length table).
+func (c *Comm) Allgatherv(data []byte) [][]byte {
+	blocks := c.Gatherv(0, data)
+	// Root flattens with a length header; everyone decodes.
+	var flat []byte
+	if c.rank == 0 {
+		flat = flattenBlocks(blocks)
+	}
+	flat = c.Bcast(0, flat)
+	out, err := unflattenBlocks(flat, c.world.p)
+	if err != nil {
+		panic(fmt.Sprintf("mpi: Allgatherv: %v", err))
+	}
+	return out
+}
+
+func flattenBlocks(blocks [][]byte) []byte {
+	total := 4
+	for _, b := range blocks {
+		total += 4 + len(b)
+	}
+	out := make([]byte, 0, total)
+	out = appendU32(out, uint32(len(blocks)))
+	for _, b := range blocks {
+		out = appendU32(out, uint32(len(b)))
+		out = append(out, b...)
+	}
+	return out
+}
+
+func unflattenBlocks(flat []byte, wantP int) ([][]byte, error) {
+	if len(flat) < 4 {
+		return nil, fmt.Errorf("short header")
+	}
+	p := int(readU32(flat))
+	if p != wantP {
+		return nil, fmt.Errorf("have %d blocks want %d", p, wantP)
+	}
+	flat = flat[4:]
+	out := make([][]byte, p)
+	for i := 0; i < p; i++ {
+		if len(flat) < 4 {
+			return nil, fmt.Errorf("short block header %d", i)
+		}
+		n := int(readU32(flat))
+		flat = flat[4:]
+		if len(flat) < n {
+			return nil, fmt.Errorf("short block %d", i)
+		}
+		out[i] = flat[:n:n]
+		flat = flat[n:]
+	}
+	return out, nil
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func readU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

@@ -1,0 +1,166 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"casvm/internal/la"
+)
+
+// Reduction operators over []float64.
+type reduceOp int
+
+const (
+	opSum reduceOp = iota
+	opMax
+	opMin
+)
+
+func (op reduceOp) apply(dst, src []float64) {
+	switch op {
+	case opSum:
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	case opMax:
+		for i := range dst {
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	case opMin:
+		for i := range dst {
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	}
+}
+
+// allreduce combines x across all ranks with op via a binomial-tree reduce
+// to rank 0 followed by a broadcast, charging the reduction flops.
+func (c *Comm) allreduce(x []float64, op reduceOp) []float64 {
+	tag := c.nextCollTag()
+	p, r := c.world.p, c.rank
+	acc := append([]float64(nil), x...)
+	for step := 1; step < p; step <<= 1 {
+		if r&step != 0 {
+			c.send(r-step, tag, la.EncodeF64(acc))
+			break
+		}
+		if r+step < p {
+			part, err := la.DecodeF64(c.recv(r+step, tag).data)
+			if err != nil {
+				panic(fmt.Sprintf("mpi: allreduce decode: %v", err))
+			}
+			if len(part) != len(acc) {
+				panic(fmt.Sprintf("mpi: allreduce length mismatch %d vs %d", len(part), len(acc)))
+			}
+			op.apply(acc, part)
+			c.Charge(float64(len(acc))) // one flop per element combined
+		}
+	}
+	return c.BcastF64(0, acc)
+}
+
+// AllreduceSum returns the element-wise sum of x across all ranks. Every
+// rank receives the same result; x is not modified.
+func (c *Comm) AllreduceSum(x []float64) []float64 { return c.allreduce(x, opSum) }
+
+// AllreduceMax returns the element-wise maximum of x across all ranks.
+func (c *Comm) AllreduceMax(x []float64) []float64 { return c.allreduce(x, opMax) }
+
+// AllreduceMin returns the element-wise minimum of x across all ranks.
+func (c *Comm) AllreduceMin(x []float64) []float64 { return c.allreduce(x, opMin) }
+
+// AllreduceSumInt sums integer counts across ranks (used by the
+// partitioners for cluster sizes).
+func (c *Comm) AllreduceSumInt(x []int) []int {
+	f := make([]float64, len(x))
+	for i, v := range x {
+		f[i] = float64(v)
+	}
+	f = c.AllreduceSum(f)
+	out := make([]int, len(x))
+	for i, v := range f {
+		out[i] = int(math.Round(v))
+	}
+	return out
+}
+
+// Loc pairs a value with its owning rank and a local index, for the MINLOC
+// / MAXLOC reductions distributed SMO uses to locate the extreme KKT
+// violators.
+type Loc struct {
+	Val   float64
+	Rank  int32
+	Index int32
+}
+
+const locBytes = 16
+
+func encodeLoc(l Loc) []byte {
+	buf := make([]byte, locBytes)
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(l.Val))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(l.Rank))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(l.Index))
+	return buf
+}
+
+func decodeLoc(b []byte) Loc {
+	if len(b) != locBytes {
+		panic(fmt.Sprintf("mpi: bad Loc payload %d bytes", len(b)))
+	}
+	return Loc{
+		Val:   math.Float64frombits(binary.LittleEndian.Uint64(b)),
+		Rank:  int32(binary.LittleEndian.Uint32(b[8:])),
+		Index: int32(binary.LittleEndian.Uint32(b[12:])),
+	}
+}
+
+// allreduceLoc reduces a Loc across ranks keeping the extreme value
+// (ties resolve to the lower rank for determinism).
+func (c *Comm) allreduceLoc(l Loc, better func(a, b Loc) bool) Loc {
+	tag := c.nextCollTag()
+	p, r := c.world.p, c.rank
+	acc := l
+	for step := 1; step < p; step <<= 1 {
+		if r&step != 0 {
+			c.send(r-step, tag, encodeLoc(acc))
+			break
+		}
+		if r+step < p {
+			other := decodeLoc(c.recv(r+step, tag).data)
+			if better(other, acc) {
+				acc = other
+			}
+		}
+	}
+	out := c.treeBcastBytes(0, c.nextCollTag(), encodeLoc(acc))
+	return decodeLoc(out)
+}
+
+// AllreduceMinLoc returns the smallest value across ranks together with its
+// owner rank and local index.
+func (c *Comm) AllreduceMinLoc(val float64, index int) Loc {
+	l := Loc{Val: val, Rank: int32(c.rank), Index: int32(index)}
+	return c.allreduceLoc(l, func(a, b Loc) bool {
+		if a.Val != b.Val {
+			return a.Val < b.Val
+		}
+		return a.Rank < b.Rank
+	})
+}
+
+// AllreduceMaxLoc returns the largest value across ranks together with its
+// owner rank and local index.
+func (c *Comm) AllreduceMaxLoc(val float64, index int) Loc {
+	l := Loc{Val: val, Rank: int32(c.rank), Index: int32(index)}
+	return c.allreduceLoc(l, func(a, b Loc) bool {
+		if a.Val != b.Val {
+			return a.Val > b.Val
+		}
+		return a.Rank < b.Rank
+	})
+}

@@ -1,0 +1,230 @@
+// Package mpi is the message-passing substrate standing in for MPI: a
+// World of P ranks, each a goroutine, exchanging byte-slice messages
+// through selective-receive mailboxes, with the collective operations the
+// CA-SVM training methods need (Barrier, Bcast, Scatterv, Gatherv,
+// Allgather, Allreduce, Allreduce-with-location).
+//
+// Two things are layered over plain message passing:
+//
+//   - Accounting: every transfer is recorded in a trace.Stats, giving the
+//     paper's Fig 8 byte matrices and Table X/XI measured volumes.
+//   - Virtual time: each rank carries a clock in seconds. Computation is
+//     charged explicitly (Charge/ChargeTime) from flop counts; every
+//     message hop charges ts + tw·bytes on both ends and synchronises the
+//     receiver's clock with the sender's. Collectives built from
+//     tree-structured point-to-point hops therefore cost what the α–β
+//     model of internal/perfmodel says they should. Virtual time makes
+//     scaling experiments independent of how many ranks share the host.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"casvm/internal/perfmodel"
+	"casvm/internal/trace"
+)
+
+// ErrAborted is delivered (by panic, recovered in Run) to ranks blocked in
+// communication when another rank fails, so a single error cannot deadlock
+// the world.
+var ErrAborted = errors.New("mpi: world aborted")
+
+// message is one point-to-point transfer.
+type message struct {
+	src   int
+	tag   int
+	data  []byte
+	clock float64 // sender's virtual clock after paying the send cost
+}
+
+// mailbox is one rank's unexpected-message queue with selective receive.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []message
+	aborted bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m message) {
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// take blocks until a message matching (src, tag) is available and removes
+// it. src == AnySource matches any sender. It panics with ErrAborted when
+// the world is shutting down.
+func (mb *mailbox) take(src, tag int) message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if mb.aborted {
+			panic(ErrAborted)
+		}
+		for i := range mb.queue {
+			m := mb.queue[i]
+			if (src == AnySource || m.src == src) && m.tag == tag {
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				return m
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+func (mb *mailbox) abort() {
+	mb.mu.Lock()
+	mb.aborted = true
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// AnySource matches any sending rank in Recv.
+const AnySource = -1
+
+// World is a set of P ranks sharing an interconnect model and statistics.
+type World struct {
+	p       int
+	machine perfmodel.Machine
+	stats   *trace.Stats
+	boxes   []*mailbox
+	seed    int64
+
+	abortOnce   sync.Once
+	finalClocks clockBoard
+}
+
+// NewWorld creates a world of p ranks with the given machine model and RNG
+// seed (each rank derives its own deterministic stream).
+func NewWorld(p int, machine perfmodel.Machine, seed int64) *World {
+	if p < 1 {
+		panic(fmt.Sprintf("mpi: world size %d", p))
+	}
+	w := &World{
+		p:       p,
+		machine: machine,
+		stats:   trace.NewStats(p),
+		boxes:   make([]*mailbox, p),
+		seed:    seed,
+	}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.p }
+
+// Stats returns the world's communication statistics. Read it only after
+// Run returns.
+func (w *World) Stats() *trace.Stats { return w.stats }
+
+// Machine returns the interconnect/compute cost model.
+func (w *World) Machine() perfmodel.Machine { return w.machine }
+
+func (w *World) abort() {
+	w.abortOnce.Do(func() {
+		for _, mb := range w.boxes {
+			mb.abort()
+		}
+	})
+}
+
+// Run executes f once per rank, each on its own goroutine, and waits for
+// all of them. The first non-nil error (or recovered panic) aborts the
+// remaining ranks and is returned; secondary ErrAborted errors are
+// suppressed.
+func (w *World) Run(f func(c *Comm) error) error {
+	errs := make([]error, w.p)
+	var wg sync.WaitGroup
+	for r := 0; r < w.p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if err, ok := rec.(error); ok && errors.Is(err, ErrAborted) {
+						errs[rank] = ErrAborted
+					} else {
+						errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
+					}
+					w.abort()
+				}
+			}()
+			c := &Comm{
+				world: w,
+				rank:  rank,
+				rng:   rand.New(rand.NewSource(w.seed*1000003 + int64(rank))),
+			}
+			err := f(c)
+			w.finalClocks.set(rank, c.clock)
+			if err != nil {
+				errs[rank] = err
+				w.abort()
+			}
+		}(r)
+	}
+	wg.Wait()
+	var first error
+	for _, e := range errs {
+		if e != nil && !errors.Is(e, ErrAborted) {
+			first = e
+			break
+		}
+	}
+	if first == nil {
+		for _, e := range errs {
+			if e != nil {
+				first = e
+				break
+			}
+		}
+	}
+	return first
+}
+
+// MaxClock returns the largest final virtual clock recorded by CommitClock
+// across ranks — the simulated parallel runtime of the program.
+func (w *World) MaxClock() float64 {
+	return w.finalClocks.max()
+}
+
+// finalClocks collects each rank's clock at CommitClock time.
+type clockBoard struct {
+	mu     sync.Mutex
+	clocks map[int]float64
+}
+
+func (b *clockBoard) set(rank int, v float64) {
+	b.mu.Lock()
+	if b.clocks == nil {
+		b.clocks = make(map[int]float64)
+	}
+	if v > b.clocks[rank] {
+		b.clocks[rank] = v
+	}
+	b.mu.Unlock()
+}
+
+func (b *clockBoard) max() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var m float64
+	for _, v := range b.clocks {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

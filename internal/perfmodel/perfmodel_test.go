@@ -1,0 +1,202 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMachineDefaults(t *testing.T) {
+	h := Hopper()
+	if h.Tc <= 0 || h.Ts <= 0 || h.Tw <= 0 {
+		t.Fatal("hopper params must be positive")
+	}
+	e := Edison()
+	if e.Tc >= h.Tc {
+		t.Error("edison should be faster per flop than hopper")
+	}
+}
+
+func TestPtoPMonotone(t *testing.T) {
+	mc := Hopper()
+	if mc.PtoP(0) != mc.Ts {
+		t.Error("zero-byte message should cost just latency")
+	}
+	if mc.PtoP(-5) != mc.Ts {
+		t.Error("negative bytes clamp to zero")
+	}
+	if mc.PtoP(4096) <= mc.PtoP(4) {
+		t.Error("cost must grow with size")
+	}
+}
+
+func TestCollectiveCosts(t *testing.T) {
+	mc := Hopper()
+	// log scaling of bcast: p=1 is free.
+	if mc.Bcast(1, 100) != 0 {
+		t.Error("bcast to 1 rank must be free")
+	}
+	if mc.Bcast(8, 100) != 3*(mc.Ts+mc.Tw*25) {
+		t.Errorf("bcast(8,100)=%v", mc.Bcast(8, 100))
+	}
+	if mc.Allreduce(16, 4) <= mc.Bcast(16, 4) {
+		t.Error("allreduce includes reduce flops, should exceed bcast")
+	}
+	// Gather root receives (p-1)*nbytes.
+	g := mc.Gather(4, 40)
+	want := 2*mc.Ts + mc.Tw*3*10
+	if math.Abs(g-want) > 1e-15 {
+		t.Errorf("gather=%v want %v", g, want)
+	}
+	if mc.Scatter(4, 40) != g {
+		t.Error("scatter should mirror gather")
+	}
+	if mc.Allgather(5, 8) != 4*(mc.Ts+mc.Tw*2) {
+		t.Error("allgather ring cost wrong")
+	}
+	if mc.Barrier(8) != 3*mc.Ts {
+		t.Error("barrier cost wrong")
+	}
+	if mc.Compute(1e9) != mc.Tc*1e9 {
+		t.Error("compute cost wrong")
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10}
+	for p, want := range cases {
+		if got := log2ceil(p); got != want {
+			t.Errorf("log2ceil(%d)=%d want %d", p, got, want)
+		}
+	}
+}
+
+func TestDisSMOParallelTimeShape(t *testing.T) {
+	ip := NormalizedIso(Hopper(), 100)
+	m := 100000
+	// More processors → less per-iteration time, until communication wins.
+	t8 := ip.DisSMOParallelTime(m, 8)
+	t64 := ip.DisSMOParallelTime(m, 64)
+	if t64 >= t8 {
+		t.Errorf("64 procs should beat 8 at m=100k: %v vs %v", t64, t8)
+	}
+	// At tiny m, huge P is slower than small P (overhead dominated).
+	s8 := ip.DisSMOParallelTime(64, 8)
+	s4096 := ip.DisSMOParallelTime(64, 4096)
+	if s4096 <= s8 {
+		t.Errorf("communication should dominate at tiny m: %v vs %v", s4096, s8)
+	}
+}
+
+func TestOverheadGrowsSuperlinearly(t *testing.T) {
+	ip := NormalizedIso(Hopper(), 100)
+	m := 10000
+	o2 := ip.DisSMOOverhead(m, 2)
+	o4 := ip.DisSMOOverhead(m, 4)
+	o8 := ip.DisSMOOverhead(m, 8)
+	if o4 <= o2 || o8 <= o4 {
+		t.Error("overhead must grow with P")
+	}
+}
+
+// The fitted exponent of the iso-efficiency curve should reflect the P³
+// communication term of eqn (10) at large P.
+func TestIsoefficiencyExponent(t *testing.T) {
+	ip := NormalizedIso(Hopper(), 100)
+	ps := []int{256, 512, 1024, 2048, 4096}
+	ws := make([]float64, len(ps))
+	for i, p := range ps {
+		ws[i] = ip.IsoefficiencyW(0.5, p)
+	}
+	b := FitExponent(ps, ws)
+	if b < 2.0 || b > 3.3 {
+		t.Errorf("fitted iso-efficiency exponent %.2f outside [2.0, 3.3]", b)
+	}
+	// Increasing at all scales.
+	for i := 1; i < len(ws); i++ {
+		if ws[i] <= ws[i-1] {
+			t.Error("W must increase with P")
+		}
+	}
+}
+
+func TestIsoefficiencyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("efficiency 1.0 should panic")
+		}
+	}()
+	NormalizedIso(Hopper(), 10).IsoefficiencyW(1.0, 8)
+}
+
+func TestTableIV(t *testing.T) {
+	rows := TableIV()
+	if len(rows) != 6 {
+		t.Fatalf("TableIV rows=%d", len(rows))
+	}
+	byName := map[string]IsoBound{}
+	for _, r := range rows {
+		byName[r.Method] = r
+	}
+	if byName["Distributed-SMO"].CommExponent != 3 {
+		t.Error("Dis-SMO must be Ω(P³)")
+	}
+	if byName["2D Mat-Vec-Mul"].CommExponent != 1 {
+		t.Error("2D MVM must be Ω(P)")
+	}
+	if byName["CA-SVM"].CommExponent != 1 {
+		t.Error("CA-SVM must be Ω(P)")
+	}
+}
+
+func TestFitExponent(t *testing.T) {
+	ps := []int{2, 4, 8, 16}
+	ws := []float64{4, 16, 64, 256} // W = P²
+	if b := FitExponent(ps, ws); math.Abs(b-2) > 1e-9 {
+		t.Errorf("exponent=%v want 2", b)
+	}
+	if !math.IsNaN(FitExponent([]int{1}, []float64{1})) {
+		t.Error("short input should be NaN")
+	}
+	if !math.IsNaN(FitExponent([]int{2, 2}, []float64{1, 2})) {
+		t.Error("degenerate input should be NaN")
+	}
+}
+
+// Table X paper check: ijcnn on 8 nodes, m=48000, n=13, s=4474 →
+// Cascade ≈ 8.4 MB. (The paper's own worked example.)
+func TestCascadeVolumePaperExample(t *testing.T) {
+	in := VolumeInput{M: 48000, N: 13, P: 8, S: 4474}
+	got := CascadeVolume(in)
+	mb := float64(got) / 1e6
+	if mb < 8.0 || mb > 9.0 {
+		t.Errorf("cascade volume %.2f MB, paper predicts ≈8.4 MB", mb)
+	}
+}
+
+func TestVolumeOrdering(t *testing.T) {
+	in := VolumeInput{M: 48000, N: 13, P: 8, S: 4474, I: 30000, K: 7}
+	casvm := CASVMVolume(in)
+	cascade := CascadeVolume(in)
+	cpsvm := CPSVMVolume(in)
+	dcfilter := DCFilterVolume(in)
+	dcsvm := DCSVMVolume(in)
+	if casvm != 0 {
+		t.Error("CA-SVM must predict zero communication")
+	}
+	if !(cascade < cpsvm && cpsvm <= dcfilter && dcfilter < dcsvm) {
+		t.Errorf("ordering violated: cascade=%d cpsvm=%d dcfilter=%d dcsvm=%d",
+			cascade, cpsvm, dcfilter, dcsvm)
+	}
+}
+
+func TestVolumeByMethod(t *testing.T) {
+	in := VolumeInput{M: 100, N: 10, P: 4, S: 20, I: 100, K: 5}
+	for _, m := range []string{"dissmo", "cascade", "dcsvm", "dcfilter", "cpsvm", "casvm"} {
+		if VolumeByMethod(m, in) < 0 {
+			t.Errorf("method %q should be known", m)
+		}
+	}
+	if VolumeByMethod("nope", in) != -1 {
+		t.Error("unknown method should return -1")
+	}
+}

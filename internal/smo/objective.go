@@ -1,0 +1,36 @@
+package smo
+
+import (
+	"casvm/internal/kernel"
+	"casvm/internal/la"
+)
+
+// DualObjective evaluates eqn (1) of the paper,
+//
+//	F(α) = Σᵢ αᵢ − ½ ΣᵢΣⱼ αᵢαⱼyᵢyⱼK(i,j),
+//
+// the quantity SMO maximises. It costs O(s²) kernel evaluations over the
+// support vectors, so it is a diagnostic, not a per-iteration tool. SMO
+// theory guarantees F strictly increases on every successful pair update —
+// the test suite uses that as a correctness invariant.
+func DualObjective(x *la.Matrix, y, alpha []float64, k kernel.Params) float64 {
+	sv := make([]int, 0)
+	for i, a := range alpha {
+		if a != 0 {
+			sv = append(sv, i)
+		}
+	}
+	var sum, quad float64
+	for _, i := range sv {
+		sum += alpha[i]
+		for _, j := range sv {
+			quad += alpha[i] * alpha[j] * y[i] * y[j] * k.Eval(x, i, x, j)
+		}
+	}
+	return sum - quad/2
+}
+
+// Objective evaluates the solver's current dual objective.
+func (s *Solver) Objective() float64 {
+	return DualObjective(s.x, s.y, s.alpha, s.cfg.Kernel)
+}

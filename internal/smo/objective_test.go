@@ -1,0 +1,82 @@
+package smo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// SMO theory: every successful pair update strictly increases the dual
+// objective F(α). Violations indicate a broken update rule.
+func TestDualObjectiveMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	x, y := twoBlobs(rng, 40, 1.2, 1.0)
+	s, err := New(x, y, defaultCfg(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := s.Objective()
+	for i := 0; i < 200; i++ {
+		if s.Step() {
+			break
+		}
+		cur := s.Objective()
+		if cur < prev-1e-9 {
+			t.Fatalf("iteration %d: objective fell %v -> %v", s.Iters(), prev, cur)
+		}
+		prev = cur
+	}
+	if s.Iters() < 10 {
+		t.Fatalf("too few iterations (%d) to be meaningful", s.Iters())
+	}
+}
+
+// The same invariant must hold for the optional selection rules.
+func TestDualObjectiveMonotoneVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	x, y := twoBlobs(rng, 35, 1.0, 1.0)
+	for _, cfgMod := range []func(*Config){
+		func(c *Config) { c.SecondOrder = true },
+		func(c *Config) { c.Shrinking = true },
+		func(c *Config) { c.PosWeight = 3 },
+	} {
+		cfg := defaultCfg()
+		cfgMod(&cfg)
+		s, err := New(x, y, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := s.Objective()
+		for i := 0; i < 150; i++ {
+			if s.Step() {
+				break
+			}
+			cur := s.Objective()
+			if cur < prev-1e-9 {
+				t.Fatalf("cfg %+v: objective fell %v -> %v at iter %d", cfg, prev, cur, s.Iters())
+			}
+			prev = cur
+		}
+	}
+}
+
+// Zero multipliers give objective zero; a solved problem gives a positive
+// objective.
+func TestDualObjectiveValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	x, y := twoBlobs(rng, 30, 2, 0.5)
+	cfg := defaultCfg()
+	s, err := New(x, y, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Objective(); got != 0 {
+		t.Fatalf("initial objective %v", got)
+	}
+	res, err := Solve(x, y, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DualObjective(x, y, res.Alpha, cfg.Kernel); got <= 0 {
+		t.Fatalf("solved objective %v should be positive", got)
+	}
+}

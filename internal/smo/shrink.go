@@ -1,0 +1,161 @@
+package smo
+
+// Shrinking (LIBSVM-style active-set reduction). Samples whose multiplier
+// sits at a box bound and whose optimality value f_i says they cannot
+// re-enter the working set are temporarily dropped from the scans and
+// f-updates, cutting the per-iteration cost from O(m) to O(|active|).
+// Before convergence is declared, f is reconstructed exactly for the
+// shrunk samples and the whole set is reactivated; optimisation resumes if
+// any shrunk sample turns out to violate KKT, so shrinking never changes
+// the solution — only the work needed to reach it.
+
+// shrinkEvery is the number of successful iterations between shrink
+// sweeps, mirroring LIBSVM's min(m, 1000) cadence.
+func (s *Solver) shrinkEvery() int {
+	m := len(s.y)
+	if m < 1000 {
+		return m
+	}
+	return 1000
+}
+
+// initActive fills the active list with every index.
+func (s *Solver) initActive() {
+	s.active = s.active[:0]
+	for i := range s.y {
+		s.active = append(s.active, i)
+	}
+	s.shrunk = false
+}
+
+// shrinkable reports whether sample i is safely inactive: its multiplier
+// is at a bound and f_i lies strictly on the non-violating side of the
+// current thresholds.
+func (s *Solver) shrinkable(i int, bHigh, bLow float64) bool {
+	a := s.alpha[i]
+	switch {
+	case a == 0:
+		if s.y[i] > 0 { // only in I_high: harmless if f_i above bLow
+			return s.f[i] > bLow
+		}
+		return s.f[i] < bHigh // only in I_low
+	case a == s.boundFor(i):
+		if s.y[i] > 0 { // only in I_low
+			return s.f[i] < bHigh
+		}
+		return s.f[i] > bLow // only in I_high
+	default:
+		return false // interior multipliers stay active
+	}
+}
+
+// shrink drops currently shrinkable samples from the active set.
+func (s *Solver) shrink() {
+	bHigh, iHigh, bLow, iLow := s.LocalExtremes()
+	if iHigh < 0 || iLow < 0 {
+		return
+	}
+	kept := s.active[:0]
+	for _, i := range s.active {
+		if s.shrinkable(i, bHigh, bLow) {
+			s.shrunk = true
+		} else {
+			kept = append(kept, i)
+		}
+	}
+	s.active = kept
+	if len(s.active) < 2 {
+		// Degenerate: bring everyone back rather than stall.
+		s.reconstructAndActivate()
+	}
+}
+
+// reconstructAndActivate recomputes f exactly for every inactive sample
+// from the support vectors (f_i = Σ_j α_j y_j K_ij − y_i) and reactivates
+// the full index set.
+func (s *Solver) reconstructAndActivate() {
+	if !s.shrunk {
+		return
+	}
+	m := len(s.y)
+	inactive := make([]bool, m)
+	for i := range inactive {
+		inactive[i] = true
+	}
+	for _, i := range s.active {
+		inactive[i] = false
+	}
+	// Rebuild from scratch for the inactive rows only.
+	row := make([]float64, m)
+	rebuilt := make([]float64, m)
+	for i := range rebuilt {
+		rebuilt[i] = -s.y[i]
+	}
+	for j := 0; j < m; j++ {
+		if s.alpha[j] == 0 {
+			continue
+		}
+		s.flops += s.cfg.Kernel.CrossRow(s.x, s.x, j, row)
+		coef := s.alpha[j] * s.y[j]
+		for i := 0; i < m; i++ {
+			if inactive[i] {
+				rebuilt[i] += coef * row[i]
+			}
+		}
+		s.flops += float64(2 * m)
+	}
+	for i := 0; i < m; i++ {
+		if inactive[i] {
+			s.f[i] = rebuilt[i]
+		}
+	}
+	s.initActive()
+}
+
+// stepShrinking is Step with active-set maintenance; used when
+// cfg.Shrinking is set.
+func (s *Solver) stepShrinking() (done bool) {
+	if len(s.active) == 0 {
+		s.initActive()
+	}
+	if s.sinceShrink >= s.shrinkEvery() {
+		s.shrink()
+		s.sinceShrink = 0
+	}
+	bHigh, iHigh, bLow, iLow := s.LocalExtremes()
+	if iHigh < 0 || iLow < 0 || bLow-bHigh < 2*s.cfg.tol() {
+		// Converged on the active set: verify against the full set.
+		if s.shrunk {
+			s.reconstructAndActivate()
+			bHigh, iHigh, bLow, iLow = s.LocalExtremes()
+			if iHigh < 0 || iLow < 0 || bLow-bHigh < 2*s.cfg.tol() {
+				return true
+			}
+			// A shrunk sample violates KKT: keep optimising.
+		} else {
+			return true
+		}
+	}
+	if s.cfg.SecondOrder {
+		if j := s.secondOrderLow(iHigh, bHigh); j >= 0 {
+			iLow = j
+		}
+	}
+	u := s.PairDeltas(iHigh, iLow)
+	if u.DAlphaHigh == 0 && u.DAlphaLow == 0 {
+		return true
+	}
+	s.UpdateF(iHigh, iLow, u)
+	s.iters++
+	s.sinceShrink++
+	return false
+}
+
+// ActiveCount reports the live active-set size (m when shrinking is off or
+// nothing has been shrunk).
+func (s *Solver) ActiveCount() int {
+	if !s.cfg.Shrinking || len(s.active) == 0 {
+		return len(s.y)
+	}
+	return len(s.active)
+}

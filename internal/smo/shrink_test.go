@@ -1,0 +1,145 @@
+package smo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestShrinkingSameSolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 4; trial++ {
+		x, y := twoBlobs(rng, 100+40*trial, 1.0+0.3*float64(trial), 1.0)
+		plain := defaultCfg()
+		rp, err := Solve(x, y, plain, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shr := defaultCfg()
+		shr.Shrinking = true
+		rs, err := Solve(x, y, shr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rs.Converged {
+			t.Fatalf("trial %d: shrinking run did not converge", trial)
+		}
+		// Same decision function on every training point.
+		for i := 0; i < x.Rows(); i++ {
+			dp := decision(x, y, rp.Alpha, rp.B, plain.Kernel, x, i)
+			ds := decision(x, y, rs.Alpha, rs.B, shr.Kernel, x, i)
+			if (dp > 0) != (ds > 0) && math.Abs(dp) > 0.01 {
+				t.Fatalf("trial %d: decisions differ at %d: %v vs %v", trial, i, dp, ds)
+			}
+		}
+		// Same KKT feasibility.
+		var sumAY float64
+		for i, a := range rs.Alpha {
+			if a < 0 || a > shr.C {
+				t.Fatalf("alpha[%d]=%v outside box", i, a)
+			}
+			sumAY += a * y[i]
+		}
+		if math.Abs(sumAY) > 1e-9*(1+float64(len(y))) {
+			t.Fatalf("Σαy=%v", sumAY)
+		}
+	}
+}
+
+// Shrinking must satisfy the KKT duality gap measured against a fully
+// recomputed f — catching stale-f bugs in the reconstruction.
+func TestShrinkingKKTAgainstRecomputedF(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	x, y := twoBlobs(rng, 150, 1.2, 1.0)
+	cfg := defaultCfg()
+	cfg.Shrinking = true
+	res, err := Solve(x, y, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := x.Rows()
+	f := make([]float64, m)
+	for i := 0; i < m; i++ {
+		var s float64
+		for j := 0; j < m; j++ {
+			if res.Alpha[j] != 0 {
+				s += res.Alpha[j] * y[j] * cfg.Kernel.Eval(x, i, x, j)
+			}
+		}
+		f[i] = s - y[i]
+	}
+	bHigh, bLow := math.Inf(1), math.Inf(-1)
+	for i := 0; i < m; i++ {
+		inHigh := (y[i] > 0 && res.Alpha[i] < cfg.C-1e-9) || (y[i] < 0 && res.Alpha[i] > 1e-9)
+		inLow := (y[i] > 0 && res.Alpha[i] > 1e-9) || (y[i] < 0 && res.Alpha[i] < cfg.C-1e-9)
+		if inHigh && f[i] < bHigh {
+			bHigh = f[i]
+		}
+		if inLow && f[i] > bLow {
+			bLow = f[i]
+		}
+	}
+	if gap := bLow - bHigh; gap > 2*cfg.Tol+1e-6 {
+		t.Fatalf("duality gap %v exceeds 2·tol after shrinking", gap)
+	}
+}
+
+func TestShrinkingActuallyShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	// Well-separated blobs: most points end at α=0 and should shrink away.
+	x, y := twoBlobs(rng, 300, 3, 0.5)
+	cfg := defaultCfg()
+	cfg.Shrinking = true
+	s, err := New(x, y, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunkSeen := false
+	for i := 0; i < 100000; i++ {
+		if s.Step() {
+			break
+		}
+		if s.ActiveCount() < s.M() {
+			shrunkSeen = true
+		}
+	}
+	if !shrunkSeen && s.Iters() > 2*s.shrinkEvery() {
+		t.Error("long run on separable data never shrank anything")
+	}
+}
+
+func TestShrinkingWithSecondOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	x, y := twoBlobs(rng, 120, 1.5, 0.8)
+	cfg := defaultCfg()
+	cfg.Shrinking = true
+	cfg.SecondOrder = true
+	res, err := Solve(x, y, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("combined options did not converge")
+	}
+	correct := 0
+	for i := 0; i < x.Rows(); i++ {
+		if (decision(x, y, res.Alpha, res.B, cfg.Kernel, x, i) > 0) == (y[i] > 0) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(x.Rows()); acc < 0.95 {
+		t.Errorf("accuracy %.3f", acc)
+	}
+}
+
+func TestActiveCountDefault(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	x, y := twoBlobs(rng, 20, 2, 0.5)
+	s, err := New(x, y, defaultCfg(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ActiveCount() != 40 {
+		t.Fatalf("ActiveCount=%d want 40", s.ActiveCount())
+	}
+}

@@ -1,0 +1,478 @@
+// Package smo implements the Sequential Minimal Optimization solver
+// (Alg 1 of the paper; Platt 1999 with Keerthi's dual-threshold
+// working-set selection). It is the shared building block of every
+// distributed method in internal/core: the paper stresses that all compared
+// methods use the same shared-memory SMO underneath, and so does this
+// repository.
+//
+// The solver exposes both a one-shot Solve and the per-iteration primitives
+// (LocalExtremes, PairDeltas, ApplyUpdate) that distributed SMO composes
+// with allreduce operations.
+package smo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"casvm/internal/kernel"
+	"casvm/internal/la"
+)
+
+// Config carries the solver hyper-parameters.
+type Config struct {
+	// C is the regularization constant of eqn (2). Must be positive.
+	C float64
+	// Tol is the KKT tolerance ε; training stops when
+	// bLow − bHigh < 2·Tol. Zero means the 1e-3 default.
+	Tol float64
+	// MaxIter caps iterations; 0 means 100·m + 10000, mirroring common
+	// SMO implementations' safety limits.
+	MaxIter int
+	// CacheRows bounds the kernel-row LRU cache; 0 means min(m, 1024).
+	CacheRows int
+	// Kernel selects the kernel function.
+	Kernel kernel.Params
+	// SecondOrder switches working-set selection from the maximal
+	// violating pair (Keerthi; the paper's Alg 1) to the second-order
+	// rule of Fan, Chen & Lin (2005), which the paper cites in §II-E:
+	// the low index is chosen to maximise (bHigh − f_j)²/η. Usually
+	// converges in fewer, slightly costlier iterations.
+	SecondOrder bool
+	// Shrinking enables LIBSVM-style active-set shrinking: bound
+	// multipliers that cannot re-enter the working set are dropped from
+	// the scans and f-updates, and f is reconstructed exactly before
+	// convergence is declared. The solution is unchanged; large problems
+	// with many bounded SVs solve with less work.
+	Shrinking bool
+	// PosWeight scales the box bound of positive samples: C_i = C·PosWeight
+	// when y_i = +1 (0 means 1). Raising it counters class imbalance by
+	// making positive errors costlier (the usual class-weighted SVM).
+	PosWeight float64
+	// Threads fans kernel-row computation out across up to this many
+	// goroutines inside the solver — the shared-memory (OpenMP-style)
+	// parallelism the paper layers under MPI. 0 or 1 is serial. Virtual
+	// time is unaffected (flop counts are deterministic); only wall time
+	// improves.
+	Threads int
+}
+
+func (c Config) posWeight() float64 {
+	if c.PosWeight <= 0 {
+		return 1
+	}
+	return c.PosWeight
+}
+
+func (c Config) tol() float64 {
+	if c.Tol <= 0 {
+		return 1e-3
+	}
+	return c.Tol
+}
+
+// Result reports a finished training run.
+type Result struct {
+	Alpha []float64 // Lagrange multipliers, length m
+	B     float64   // bias (bHigh+bLow)/2; prediction is sign(Σ αyK − B)
+	Iters int       // SMO iterations executed
+	Flops float64   // flops spent (kernel rows + updates + scans)
+	// Converged is false when MaxIter stopped the solver first.
+	Converged bool
+}
+
+// SVCount returns the number of nonzero multipliers.
+func (r *Result) SVCount() int {
+	n := 0
+	for _, a := range r.Alpha {
+		if a > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Solver holds the mutable optimisation state for one training set.
+type Solver struct {
+	x   *la.Matrix
+	y   []float64
+	cfg Config
+
+	alpha []float64
+	f     []float64 // f_i of eqn (4)
+	cache *kernel.RowCache
+
+	iters int
+	flops float64
+	// drainedCache remembers how many cache flops TakeFlops has already
+	// reported, since the cache counter is cumulative.
+	drainedCache float64
+
+	// Shrinking state: the live index set, whether anything is currently
+	// shrunk, and iterations since the last shrink sweep.
+	active      []int
+	shrunk      bool
+	sinceShrink int
+}
+
+// New prepares a solver for the given samples and ±1 labels, optionally
+// warm-started from inherited multipliers (warm may be nil; otherwise its
+// length must equal x.Rows()). Warm starting rebuilds the f vector from the
+// nonzero multipliers, which is how Cascade/DC layers inherit state.
+func New(x *la.Matrix, y []float64, cfg Config, warm []float64) (*Solver, error) {
+	m := x.Rows()
+	if len(y) != m {
+		return nil, fmt.Errorf("smo: %d samples but %d labels", m, len(y))
+	}
+	if cfg.C <= 0 {
+		return nil, errors.New("smo: C must be positive")
+	}
+	if err := cfg.Kernel.Validate(); err != nil {
+		return nil, err
+	}
+	for i, v := range y {
+		if v != 1 && v != -1 {
+			return nil, fmt.Errorf("smo: label[%d]=%v, want ±1", i, v)
+		}
+	}
+	if warm != nil && len(warm) != m {
+		return nil, fmt.Errorf("smo: warm start length %d, want %d", len(warm), m)
+	}
+	cacheRows := cfg.CacheRows
+	if cacheRows <= 0 {
+		cacheRows = 1024
+		if m < cacheRows {
+			cacheRows = m
+		}
+	}
+	s := &Solver{
+		x:     x,
+		y:     y,
+		cfg:   cfg,
+		alpha: make([]float64, m),
+		f:     make([]float64, m),
+		cache: kernel.NewRowCache(cfg.Kernel, x, cacheRows),
+	}
+	s.cache.SetThreads(cfg.Threads)
+	// f_i = Σ_j α_j y_j K_ij − y_i ; with α = 0 this is just −y_i.
+	for i := range s.f {
+		s.f[i] = -y[i]
+	}
+	if warm != nil {
+		copy(s.alpha, warm)
+		// Clip inherited multipliers into the feasible box; layer merges
+		// can push them slightly outside after float32 wire transfer.
+		for i := range s.alpha {
+			if s.alpha[i] < 0 {
+				s.alpha[i] = 0
+			} else if b := s.boundFor(i); s.alpha[i] > b {
+				s.alpha[i] = b
+			}
+		}
+		row := make([]float64, m)
+		for j := range s.alpha {
+			if s.alpha[j] == 0 {
+				continue
+			}
+			s.flops += cfg.Kernel.CrossRow(x, x, j, row)
+			coef := s.alpha[j] * y[j]
+			la.Axpy(coef, row, s.f)
+			s.flops += float64(2 * m)
+		}
+	}
+	return s, nil
+}
+
+// M returns the number of training samples.
+func (s *Solver) M() int { return len(s.y) }
+
+// Alpha returns the live multiplier vector (owned by the solver).
+func (s *Solver) Alpha() []float64 { return s.alpha }
+
+// F returns the live optimality vector f (owned by the solver).
+func (s *Solver) F() []float64 { return s.f }
+
+// Iters returns the number of iterations executed so far.
+func (s *Solver) Iters() int { return s.iters }
+
+// boundFor returns sample i's box upper bound C_i (class-weighted).
+func (s *Solver) boundFor(i int) float64 {
+	if s.y[i] > 0 {
+		return s.cfg.C * s.cfg.posWeight()
+	}
+	return s.cfg.C
+}
+
+// inHigh reports membership in I_high = {i : (y=+1 ∧ α<C_i) ∨ (y=−1 ∧ α>0)}.
+func (s *Solver) inHigh(i int) bool {
+	if s.y[i] > 0 {
+		return s.alpha[i] < s.boundFor(i)
+	}
+	return s.alpha[i] > 0
+}
+
+// inLow reports membership in I_low = {i : (y=+1 ∧ α>0) ∨ (y=−1 ∧ α<C_i)}.
+func (s *Solver) inLow(i int) bool {
+	if s.y[i] > 0 {
+		return s.alpha[i] > 0
+	}
+	return s.alpha[i] < s.boundFor(i)
+}
+
+// LocalExtremes scans f for the working pair: bHigh = min f over I_high
+// (index iHigh) and bLow = max f over I_low (index iLow). Empty sets yield
+// +Inf/−Inf with index −1. The scan charges 2·|active| flops and is
+// restricted to the active set when shrinking is enabled.
+func (s *Solver) LocalExtremes() (bHigh float64, iHigh int, bLow float64, iLow int) {
+	bHigh, iHigh = math.Inf(1), -1
+	bLow, iLow = math.Inf(-1), -1
+	if s.cfg.Shrinking && len(s.active) > 0 {
+		for _, i := range s.active {
+			if s.inHigh(i) && s.f[i] < bHigh {
+				bHigh, iHigh = s.f[i], i
+			}
+			if s.inLow(i) && s.f[i] > bLow {
+				bLow, iLow = s.f[i], i
+			}
+		}
+		s.flops += float64(2 * len(s.active))
+		return
+	}
+	for i := range s.f {
+		if s.inHigh(i) && s.f[i] < bHigh {
+			bHigh, iHigh = s.f[i], i
+		}
+		if s.inLow(i) && s.f[i] > bLow {
+			bLow, iLow = s.f[i], i
+		}
+	}
+	s.flops += float64(2 * len(s.f))
+	return
+}
+
+// PairUpdate holds the result of optimising one (high, low) pair: the two
+// multiplier deltas of eqns (6)–(7).
+type PairUpdate struct {
+	DAlphaHigh, DAlphaLow float64
+}
+
+// PairDeltas solves the two-variable subproblem for local indices iHigh,
+// iLow given current bHigh = f[iHigh], bLow = f[iLow], with box clipping.
+// It mutates alpha but not f; call UpdateF (or let Step do both).
+func (s *Solver) PairDeltas(iHigh, iLow int) PairUpdate {
+	yh, yl := s.y[iHigh], s.y[iLow]
+	khh := s.cache.Diag(iHigh)
+	kll := s.cache.Diag(iLow)
+	khl := s.cache.Row(iHigh)[iLow]
+	return s.pairDeltasRaw(iHigh, iLow, yh, yl, s.f[iHigh], s.f[iLow], khh, kll, khl)
+}
+
+// pairDeltasRaw implements the clipped update given kernel values; split
+// out so distributed SMO can pass remotely-computed kernel entries.
+func (s *Solver) pairDeltasRaw(iHigh, iLow int, yh, yl, fh, fl, khh, kll, khl float64) PairUpdate {
+	ah, al := s.alpha[iHigh], s.alpha[iLow]
+	ch, cl := s.boundFor(iHigh), s.boundFor(iLow)
+	dah, dal := PairSolveWeighted(ch, cl, yh, yl, fh, fl, ah, al, khh, kll, khl)
+	s.alpha[iLow] = s.snapTo(al+dal, cl)
+	s.alpha[iHigh] = s.snapTo(math.Min(ch, math.Max(0, ah+dah)), ch)
+	return PairUpdate{DAlphaHigh: dah, DAlphaLow: dal}
+}
+
+// PairSolve computes the clipped two-variable SMO update of eqns (6)–(7)
+// from the pair's labels, optimality values, current multipliers and kernel
+// entries, returning (Δα_high, Δα_low). It is a pure function so every rank
+// of distributed SMO can evaluate the identical update from broadcast data.
+func PairSolve(C, yh, yl, fh, fl, ah, al, khh, kll, khl float64) (dah, dal float64) {
+	return PairSolveWeighted(C, C, yh, yl, fh, fl, ah, al, khh, kll, khl)
+}
+
+// PairSolveWeighted is PairSolve with per-sample box bounds (class-weighted
+// SVM): α_high ∈ [0, ch], α_low ∈ [0, cl].
+func PairSolveWeighted(ch, cl, yh, yl, fh, fl, ah, al, khh, kll, khl float64) (dah, dal float64) {
+	eta := khh + kll - 2*khl
+	if eta <= 1e-12 {
+		eta = 1e-12 // keep the step finite for degenerate pairs
+	}
+	// Unclipped step on α_low (eqn 6), then box constraints from the
+	// equality Σαy = 0 restricted to the pair.
+	alNew := al + yl*(fh-fl)/eta
+	var lo, hi float64
+	if yh != yl {
+		// α_low − α_high is invariant.
+		lo = math.Max(0, al-ah)
+		hi = math.Min(cl, ch+al-ah)
+	} else {
+		// α_low + α_high is invariant.
+		lo = math.Max(0, al+ah-ch)
+		hi = math.Min(cl, al+ah)
+	}
+	if alNew < lo {
+		alNew = lo
+	} else if alNew > hi {
+		alNew = hi
+	}
+	dal = alNew - al
+	dah = -yl * yh * dal // eqn (7)
+	return dah, dal
+}
+
+// snapTo collapses numerical dust at the box edges to exactly 0 or the
+// bound c. Without it, a multiplier like 7e-18 keeps its index in the wrong
+// Keerthi set and the maximal-violating-pair selection can stall on an
+// update that rounds to zero.
+func (s *Solver) snapTo(a, c float64) float64 {
+	eps := 1e-12 * c
+	if a < eps {
+		return 0
+	}
+	if a > c-eps {
+		return c
+	}
+	return a
+}
+
+// UpdateF applies eqn (5): f_i += Δα_high·y_high·K(high,i) +
+// Δα_low·y_low·K(low,i), using cached rows — over the active set only when
+// shrinking is enabled (shrunk entries are reconstructed later).
+func (s *Solver) UpdateF(iHigh, iLow int, u PairUpdate) {
+	if s.cfg.Shrinking && len(s.active) > 0 && s.shrunk {
+		ch := u.DAlphaHigh * s.y[iHigh]
+		cl := u.DAlphaLow * s.y[iLow]
+		rh := s.cache.Row(iHigh)
+		for _, i := range s.active {
+			s.f[i] += ch * rh[i]
+		}
+		rl := s.cache.Row(iLow)
+		for _, i := range s.active {
+			s.f[i] += cl * rl[i]
+		}
+		s.flops += float64(4 * len(s.active))
+		return
+	}
+	rh := s.cache.Row(iHigh)
+	la.Axpy(u.DAlphaHigh*s.y[iHigh], rh, s.f)
+	rl := s.cache.Row(iLow)
+	la.Axpy(u.DAlphaLow*s.y[iLow], rl, s.f)
+	s.flops += float64(4 * len(s.f))
+}
+
+// ApplyExternalUpdate is the distributed variant of UpdateF: the high/low
+// samples live in ext (a 1- or 2-row matrix) and may not be local rows.
+// Local alpha changes (when this rank owns the sample) must be applied
+// separately via AddAlpha.
+func (s *Solver) ApplyExternalUpdate(ext *la.Matrix, extIdx int, yExt, dAlpha float64, buf []float64) {
+	s.flops += s.cfg.Kernel.CrossRow(s.x, ext, extIdx, buf)
+	la.Axpy(dAlpha*yExt, buf[:len(s.f)], s.f)
+	s.flops += float64(2 * len(s.f))
+}
+
+// AddAlpha adds d to alpha[i], clipping to [0, C_i] and snapping edge dust.
+func (s *Solver) AddAlpha(i int, d float64) {
+	a := s.alpha[i] + d
+	b := s.boundFor(i)
+	s.alpha[i] = s.snapTo(math.Min(b, math.Max(0, a)), b)
+}
+
+// Step runs one full local SMO iteration. It returns done=true when the
+// stopping criterion held before the update (in which case no update was
+// applied).
+func (s *Solver) Step() (done bool) {
+	if s.cfg.Shrinking {
+		return s.stepShrinking()
+	}
+	bHigh, iHigh, bLow, iLow := s.LocalExtremes()
+	if iHigh < 0 || iLow < 0 || bLow-bHigh < 2*s.cfg.tol() {
+		return true
+	}
+	if s.cfg.SecondOrder {
+		if j := s.secondOrderLow(iHigh, bHigh); j >= 0 {
+			iLow = j
+		}
+	}
+	u := s.PairDeltas(iHigh, iLow)
+	if u.DAlphaHigh == 0 && u.DAlphaLow == 0 {
+		// Maximal violating pair cannot move: numerically stuck.
+		return true
+	}
+	s.UpdateF(iHigh, iLow, u)
+	s.iters++
+	return false
+}
+
+// secondOrderLow implements WSS2: among violating I_low members, pick the
+// one maximising the guaranteed objective decrease (bHigh − f_j)²/η_j where
+// η_j = K(h,h) + K(j,j) − 2K(h,j). Returns −1 when no violator exists.
+func (s *Solver) secondOrderLow(iHigh int, bHigh float64) int {
+	rowH := s.cache.Row(iHigh)
+	khh := s.cache.Diag(iHigh)
+	best, bj := -1.0, -1
+	for j := range s.f {
+		if !s.inLow(j) || s.f[j] <= bHigh {
+			continue
+		}
+		eta := khh + s.cache.Diag(j) - 2*rowH[j]
+		if eta <= 1e-12 {
+			eta = 1e-12
+		}
+		d := bHigh - s.f[j]
+		if gain := d * d / eta; gain > best {
+			best, bj = gain, j
+		}
+	}
+	s.flops += float64(5 * len(s.f))
+	return bj
+}
+
+// TakeFlops drains the solver's accumulated flop counter (including kernel
+// cache misses) and returns it. Distributed callers feed this into the
+// virtual clock after each phase.
+func (s *Solver) TakeFlops() float64 {
+	_, _, cacheFlops := s.cache.Stats()
+	f := s.flops + cacheFlops - s.drainedCache
+	s.drainedCache = cacheFlops
+	s.flops = 0
+	return f
+}
+
+// Bias returns the Keerthi bias estimate (bHigh+bLow)/2 from the current f.
+func (s *Solver) Bias() float64 {
+	bHigh, iHigh, bLow, iLow := s.LocalExtremes()
+	if iHigh < 0 && iLow < 0 {
+		return 0
+	}
+	if iHigh < 0 {
+		return bLow
+	}
+	if iLow < 0 {
+		return bHigh
+	}
+	return (bHigh + bLow) / 2
+}
+
+// Solve runs SMO to convergence and returns the result. x and y are as in
+// New.
+func Solve(x *la.Matrix, y []float64, cfg Config, warm []float64) (*Result, error) {
+	s, err := New(x, y, cfg, warm)
+	if err != nil {
+		return nil, err
+	}
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100*x.Rows() + 10000
+	}
+	converged := false
+	for s.iters < maxIter {
+		if s.Step() {
+			converged = true
+			break
+		}
+	}
+	b := s.Bias()
+	return &Result{
+		Alpha:     s.alpha,
+		B:         b,
+		Iters:     s.iters,
+		Flops:     s.TakeFlops(),
+		Converged: converged,
+	}, nil
+}

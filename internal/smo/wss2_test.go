@@ -1,0 +1,103 @@
+package smo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"casvm/internal/kernel"
+)
+
+func TestSecondOrderConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x, y := twoBlobs(rng, 80, 1.2, 0.9)
+	cfg := defaultCfg()
+	cfg.SecondOrder = true
+	res, err := Solve(x, y, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("WSS2 should converge")
+	}
+	// Same KKT feasibility as first-order.
+	var sumAY float64
+	for i, a := range res.Alpha {
+		if a < 0 || a > cfg.C {
+			t.Fatalf("alpha[%d]=%v outside box", i, a)
+		}
+		sumAY += a * y[i]
+	}
+	if math.Abs(sumAY) > 1e-9*(1+float64(len(y))) {
+		t.Fatalf("Σαy=%v", sumAY)
+	}
+}
+
+func TestSecondOrderUsuallyFewerIterations(t *testing.T) {
+	// WSS2's guaranteed-decrease selection should need no more iterations
+	// than the maximal violating pair on average; allow per-seed slack.
+	rng := rand.New(rand.NewSource(22))
+	totalFirst, totalSecond := 0, 0
+	for trial := 0; trial < 5; trial++ {
+		x, y := twoBlobs(rng, 60+trial*20, 1.0, 1.0)
+		c1 := defaultCfg()
+		r1, err := Solve(x, y, c1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2 := defaultCfg()
+		c2.SecondOrder = true
+		r2, err := Solve(x, y, c2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalFirst += r1.Iters
+		totalSecond += r2.Iters
+	}
+	if totalSecond > totalFirst*5/4 {
+		t.Errorf("WSS2 iterations %d vs WSS1 %d — expected ≤ 1.25×", totalSecond, totalFirst)
+	}
+}
+
+func TestSecondOrderSameDecisions(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	x, y := twoBlobs(rng, 50, 2, 0.5)
+	c1 := defaultCfg()
+	r1, err := Solve(x, y, c1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := defaultCfg()
+	c2.SecondOrder = true
+	r2, err := Solve(x, y, c2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < x.Rows(); i++ {
+		d1 := decision(x, y, r1.Alpha, r1.B, c1.Kernel, x, i)
+		d2 := decision(x, y, r2.Alpha, r2.B, c2.Kernel, x, i)
+		if (d1 > 0) != (d2 > 0) {
+			t.Fatalf("selection rules disagree on training point %d (%v vs %v)", i, d1, d2)
+		}
+	}
+}
+
+func TestSecondOrderLinearKernel(t *testing.T) {
+	// Diag() is non-trivial for linear kernels; make sure WSS2 works there.
+	rng := rand.New(rand.NewSource(24))
+	x, y := twoBlobs(rng, 40, 3, 0.3)
+	cfg := Config{C: 1, Kernel: kernel.Params{Kind: kernel.Linear}, SecondOrder: true}
+	res, err := Solve(x, y, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < x.Rows(); i++ {
+		if (decision(x, y, res.Alpha, res.B, cfg.Kernel, x, i) > 0) == (y[i] > 0) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(x.Rows()); acc < 0.95 {
+		t.Errorf("linear WSS2 accuracy %.3f", acc)
+	}
+}

@@ -1,0 +1,382 @@
+// Package tcpmpi is a TCP-backed implementation of the point-to-point and
+// collective operations the CA-SVM methods need, for genuinely
+// multi-process runs (one OS process per rank, possibly on different
+// hosts). It mirrors the semantics of internal/mpi: tagged selective
+// receive, binomial-tree broadcast, gather, scatter, allreduce-sum and
+// barrier — without the virtual clock, since real deployments measure real
+// time.
+//
+// Wire protocol per frame (little endian):
+//
+//	int32 tag | uint32 len | len bytes payload
+//
+// Connection setup: rank i listens on addrs[i]; every pair (i < j) shares
+// one connection dialed by j, which introduces itself with a 4-byte rank
+// header.
+package tcpmpi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+)
+
+// Comm is one process's endpoint in a TCP world.
+type Comm struct {
+	rank, size int
+	conns      []net.Conn // conns[r] is the link to rank r (nil for self)
+	writeMu    []sync.Mutex
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[int][]message // per-source unexpected-message queues
+	dead   map[int]error     // per-source connection failures
+	closed error
+
+	collSeq int
+}
+
+type message struct {
+	tag  int
+	data []byte
+}
+
+// DialTimeout bounds connection establishment.
+const DialTimeout = 30 * time.Second
+
+// Dial joins the world: rank r listens on addrs[r], accepts connections
+// from higher ranks and dials lower ranks. It blocks until the full mesh is
+// up or the timeout expires.
+func Dial(rank int, addrs []string) (*Comm, error) {
+	size := len(addrs)
+	if rank < 0 || rank >= size {
+		return nil, fmt.Errorf("tcpmpi: rank %d outside [0,%d)", rank, size)
+	}
+	c := &Comm{
+		rank:    rank,
+		size:    size,
+		conns:   make([]net.Conn, size),
+		writeMu: make([]sync.Mutex, size),
+		queues:  map[int][]message{},
+		dead:    map[int]error{},
+	}
+	c.cond = sync.NewCond(&c.mu)
+	if size == 1 {
+		return c, nil
+	}
+
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("tcpmpi: rank %d listen %s: %w", rank, addrs[rank], err)
+	}
+	defer ln.Close()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, size)
+
+	// Accept from every higher rank.
+	expect := size - 1 - rank
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < expect; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			var hdr [4]byte
+			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+				errCh <- err
+				return
+			}
+			src := int(binary.LittleEndian.Uint32(hdr[:]))
+			if src <= rank || src >= size {
+				errCh <- fmt.Errorf("tcpmpi: bogus hello from rank %d", src)
+				return
+			}
+			c.conns[src] = conn
+		}
+	}()
+
+	// Dial every lower rank.
+	for dst := 0; dst < rank; dst++ {
+		wg.Add(1)
+		go func(dst int) {
+			defer wg.Done()
+			deadline := time.Now().Add(DialTimeout)
+			var conn net.Conn
+			var err error
+			for {
+				conn, err = net.DialTimeout("tcp", addrs[dst], time.Second)
+				if err == nil || time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			if err != nil {
+				errCh <- fmt.Errorf("tcpmpi: dial rank %d at %s: %w", dst, addrs[dst], err)
+				return
+			}
+			var hdr [4]byte
+			binary.LittleEndian.PutUint32(hdr[:], uint32(rank))
+			if _, err := conn.Write(hdr[:]); err != nil {
+				errCh <- err
+				return
+			}
+			c.conns[dst] = conn
+		}(dst)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		c.Close()
+		return nil, err
+	default:
+	}
+	// One reader goroutine per peer.
+	for r, conn := range c.conns {
+		if conn == nil {
+			continue
+		}
+		go c.readLoop(r, conn)
+	}
+	return c, nil
+}
+
+// Rank returns this process's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.size }
+
+// Close tears down all connections; blocked receivers fail.
+func (c *Comm) Close() error {
+	c.mu.Lock()
+	if c.closed == nil {
+		c.closed = errors.New("tcpmpi: closed")
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	for _, conn := range c.conns {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+	return nil
+}
+
+func (c *Comm) readLoop(src int, conn net.Conn) {
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			c.fail(src, fmt.Errorf("tcpmpi: read from rank %d: %w", src, err))
+			return
+		}
+		tag := int(int32(binary.LittleEndian.Uint32(hdr[:4])))
+		n := binary.LittleEndian.Uint32(hdr[4:])
+		if n > 1<<30 {
+			c.fail(src, fmt.Errorf("tcpmpi: oversized frame from rank %d (%d bytes)", src, n))
+			return
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(conn, data); err != nil {
+			c.fail(src, fmt.Errorf("tcpmpi: read body from rank %d: %w", src, err))
+			return
+		}
+		c.mu.Lock()
+		c.queues[src] = append(c.queues[src], message{tag: tag, data: data})
+		c.mu.Unlock()
+		c.cond.Broadcast()
+	}
+}
+
+// fail marks the connection to src as dead: only receives that depend on
+// src report the error, so a peer that finishes and exits early does not
+// poison unrelated traffic.
+func (c *Comm) fail(src int, err error) {
+	c.mu.Lock()
+	if _, ok := c.dead[src]; !ok {
+		c.dead[src] = err
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// Send transmits data to rank dst with the given tag.
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	if dst == c.rank {
+		c.mu.Lock()
+		c.queues[dst] = append(c.queues[dst], message{tag: tag, data: data})
+		c.mu.Unlock()
+		c.cond.Broadcast()
+		return nil
+	}
+	conn := c.conns[dst]
+	if conn == nil {
+		return fmt.Errorf("tcpmpi: no connection to rank %d", dst)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(int32(tag)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(data)))
+	c.writeMu[dst].Lock()
+	defer c.writeMu[dst].Unlock()
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(data)
+	return err
+}
+
+// Recv blocks until a message with the given tag arrives from src.
+func (c *Comm) Recv(src, tag int) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		q := c.queues[src]
+		for i := range q {
+			if q[i].tag == tag {
+				data := q[i].data
+				c.queues[src] = append(q[:i], q[i+1:]...)
+				return data, nil
+			}
+		}
+		if err, ok := c.dead[src]; ok {
+			return nil, err
+		}
+		if c.closed != nil {
+			return nil, c.closed
+		}
+		c.cond.Wait()
+	}
+}
+
+func (c *Comm) nextCollTag() int {
+	c.collSeq++
+	return 1<<24 + c.collSeq
+}
+
+// Bcast broadcasts root's payload to every rank via a binomial tree; all
+// ranks return it.
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	tag := c.nextCollTag()
+	p := c.size
+	vr := (c.rank - root + p) % p
+	if vr != 0 {
+		top := 1
+		for top<<1 <= vr {
+			top <<= 1
+		}
+		src := (vr - top + root) % p
+		var err error
+		if data, err = c.Recv(src, tag); err != nil {
+			return nil, err
+		}
+	}
+	start := 1
+	if vr != 0 {
+		top := 1
+		for top<<1 <= vr {
+			top <<= 1
+		}
+		start = top << 1
+	}
+	for step := start; vr+step < p; step <<= 1 {
+		if err := c.Send((vr+step+root)%p, tag, data); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// Gatherv collects every rank's payload at root (root gets a slice indexed
+// by rank; others get nil).
+func (c *Comm) Gatherv(root int, data []byte) ([][]byte, error) {
+	tag := c.nextCollTag()
+	if c.rank != root {
+		return nil, c.Send(root, tag, data)
+	}
+	out := make([][]byte, c.size)
+	out[root] = data
+	for src := 0; src < c.size; src++ {
+		if src == root {
+			continue
+		}
+		b, err := c.Recv(src, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[src] = b
+	}
+	return out, nil
+}
+
+// Scatterv delivers blocks[r] to rank r from root.
+func (c *Comm) Scatterv(root int, blocks [][]byte) ([]byte, error) {
+	tag := c.nextCollTag()
+	if c.rank == root {
+		if len(blocks) != c.size {
+			return nil, fmt.Errorf("tcpmpi: scatter needs %d blocks, got %d", c.size, len(blocks))
+		}
+		for dst := 0; dst < c.size; dst++ {
+			if dst == root {
+				continue
+			}
+			if err := c.Send(dst, tag, blocks[dst]); err != nil {
+				return nil, err
+			}
+		}
+		return blocks[root], nil
+	}
+	return c.Recv(root, tag)
+}
+
+// Barrier blocks until every rank enters it.
+func (c *Comm) Barrier() error {
+	if _, err := c.Gatherv(0, nil); err != nil {
+		return err
+	}
+	_, err := c.Bcast(0, nil)
+	return err
+}
+
+// AllreduceSum element-wise sums x across ranks; every rank returns the
+// total. Implemented as gather-to-0 + broadcast.
+func (c *Comm) AllreduceSum(x []float64) ([]float64, error) {
+	buf := make([]byte, 8*len(x))
+	for i, v := range x {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	parts, err := c.Gatherv(0, buf)
+	if err != nil {
+		return nil, err
+	}
+	if c.rank == 0 {
+		sum := make([]float64, len(x))
+		for _, part := range parts {
+			if len(part) != len(buf) {
+				return nil, fmt.Errorf("tcpmpi: allreduce length mismatch")
+			}
+			for i := range sum {
+				sum[i] += math.Float64frombits(binary.LittleEndian.Uint64(part[8*i:]))
+			}
+		}
+		for i, v := range sum {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+		}
+	}
+	buf, err = c.Bcast(0, buf)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(x))
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return out, nil
+}

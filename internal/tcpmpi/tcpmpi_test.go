@@ -1,0 +1,211 @@
+package tcpmpi
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+)
+
+// freeAddrs reserves n distinct localhost ports and returns their
+// addresses (released just before use; a tiny race window is acceptable in
+// tests).
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// world spins up n Comms in-process (one goroutine each) and runs f per
+// rank.
+func world(t *testing.T, n int, f func(c *Comm) error) {
+	t.Helper()
+	addrs := freeAddrs(t, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c, err := Dial(rank, addrs)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer c.Close()
+			errs[rank] = f(c)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	world(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 5, []byte("over tcp"))
+		}
+		got, err := c.Recv(0, 5)
+		if err != nil {
+			return err
+		}
+		if string(got) != "over tcp" {
+			return fmt.Errorf("got %q", got)
+		}
+		return nil
+	})
+}
+
+func TestTagSelectivity(t *testing.T) {
+	world(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 1, []byte("a")); err != nil {
+				return err
+			}
+			return c.Send(1, 2, []byte("b"))
+		}
+		b, err := c.Recv(0, 2)
+		if err != nil {
+			return err
+		}
+		a, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if string(a) != "a" || string(b) != "b" {
+			return fmt.Errorf("a=%q b=%q", a, b)
+		}
+		return nil
+	})
+}
+
+func TestBcastGatherScatter(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5} {
+		world(t, n, func(c *Comm) error {
+			var in []byte
+			if c.Rank() == 0 {
+				in = []byte("payload")
+			}
+			out, err := c.Bcast(0, in)
+			if err != nil {
+				return err
+			}
+			if string(out) != "payload" {
+				return fmt.Errorf("bcast got %q", out)
+			}
+			all, err := c.Gatherv(0, []byte{byte(c.Rank() + 1)})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				for r, b := range all {
+					if len(b) != 1 || b[0] != byte(r+1) {
+						return fmt.Errorf("gather[%d]=%v", r, b)
+					}
+				}
+				blocks := make([][]byte, c.Size())
+				for r := range blocks {
+					blocks[r] = []byte{byte(10 * r)}
+				}
+				mine, err := c.Scatterv(0, blocks)
+				if err != nil {
+					return err
+				}
+				if mine[0] != 0 {
+					return fmt.Errorf("root scatter got %v", mine)
+				}
+			} else {
+				mine, err := c.Scatterv(0, nil)
+				if err != nil {
+					return err
+				}
+				if mine[0] != byte(10*c.Rank()) {
+					return fmt.Errorf("scatter got %v", mine)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	world(t, 4, func(c *Comm) error {
+		out, err := c.AllreduceSum([]float64{1, float64(c.Rank())})
+		if err != nil {
+			return err
+		}
+		if out[0] != 4 || out[1] != 6 {
+			return fmt.Errorf("got %v", out)
+		}
+		return nil
+	})
+}
+
+func TestBarrier(t *testing.T) {
+	world(t, 4, func(c *Comm) error { return c.Barrier() })
+}
+
+func TestPeerDisconnectFailsReceivers(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	var wg sync.WaitGroup
+	var recvErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c, err := Dial(0, addrs)
+		if err != nil {
+			recvErr = err
+			return
+		}
+		// Peer closes; our pending Recv must fail rather than hang.
+		_, recvErr = c.Recv(1, 9)
+		c.Close()
+	}()
+	go func() {
+		defer wg.Done()
+		c, err := Dial(1, addrs)
+		if err != nil {
+			return
+		}
+		c.Close()
+	}()
+	wg.Wait()
+	if recvErr == nil {
+		t.Fatal("Recv should fail when the peer disconnects")
+	}
+}
+
+func TestDialValidation(t *testing.T) {
+	if _, err := Dial(5, []string{"127.0.0.1:0"}); err == nil {
+		t.Fatal("out-of-range rank should fail")
+	}
+	// Single-rank world needs no network at all.
+	c, err := Dial(0, []string{"unused"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(0, 1, []byte("self")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv(0, 1)
+	if err != nil || string(got) != "self" {
+		t.Fatalf("self roundtrip: %q %v", got, err)
+	}
+	c.Close()
+}

@@ -1,0 +1,163 @@
+// Package trace collects the communication and time statistics the paper
+// reports: the P×P point-to-point byte matrix of Fig 8, the operation
+// counts and volume-per-operation of Table XI, and the per-rank
+// computation/communication virtual-time split of Fig 9.
+//
+// Senders record each transfer; counters are atomic so any rank goroutine
+// may record concurrently.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Stats accumulates communication statistics for one world of P ranks.
+type Stats struct {
+	p     int
+	bytes []atomic.Int64 // p×p matrix, row = sender, col = receiver
+	ops   []atomic.Int64 // p×p matrix of message counts
+
+	// Virtual time per rank, split by phase. Each slot is written only by
+	// its owning rank goroutine; the World join provides the
+	// happens-before edge for readers.
+	compSec []float64
+	commSec []float64
+}
+
+// NewStats creates statistics storage for p ranks.
+func NewStats(p int) *Stats {
+	return &Stats{
+		p:       p,
+		bytes:   make([]atomic.Int64, p*p),
+		ops:     make([]atomic.Int64, p*p),
+		compSec: make([]float64, p),
+		commSec: make([]float64, p),
+	}
+}
+
+// P returns the number of ranks.
+func (s *Stats) P() int { return s.p }
+
+// RecordSend notes a transfer of n bytes from src to dst as one
+// communication operation. Self-sends (src == dst) are local copies and are
+// deliberately not counted, matching how MPI profilers count network
+// traffic.
+func (s *Stats) RecordSend(src, dst, n int) {
+	if src == dst {
+		return
+	}
+	s.bytes[src*s.p+dst].Add(int64(n))
+	s.ops[src*s.p+dst].Add(1)
+}
+
+// AddComp charges sec seconds of computation virtual time to rank.
+func (s *Stats) AddComp(rank int, sec float64) { s.compSec[rank] += sec }
+
+// AddComm charges sec seconds of communication virtual time to rank.
+func (s *Stats) AddComm(rank int, sec float64) { s.commSec[rank] += sec }
+
+// CompSec returns rank's accumulated computation virtual time.
+func (s *Stats) CompSec(rank int) float64 { return s.compSec[rank] }
+
+// CommSec returns rank's accumulated communication virtual time.
+func (s *Stats) CommSec(rank int) float64 { return s.commSec[rank] }
+
+// Bytes returns the bytes sent from src to dst.
+func (s *Stats) Bytes(src, dst int) int64 { return s.bytes[src*s.p+dst].Load() }
+
+// Ops returns the number of messages sent from src to dst.
+func (s *Stats) Ops(src, dst int) int64 { return s.ops[src*s.p+dst].Load() }
+
+// Matrix returns a copy of the P×P byte matrix (Fig 8).
+func (s *Stats) Matrix() [][]int64 {
+	m := make([][]int64, s.p)
+	for i := range m {
+		m[i] = make([]int64, s.p)
+		for j := range m[i] {
+			m[i][j] = s.Bytes(i, j)
+		}
+	}
+	return m
+}
+
+// TotalBytes returns the total bytes moved between distinct ranks.
+func (s *Stats) TotalBytes() int64 {
+	var t int64
+	for i := range s.bytes {
+		t += s.bytes[i].Load()
+	}
+	return t
+}
+
+// TotalOps returns the total number of messages between distinct ranks.
+func (s *Stats) TotalOps() int64 {
+	var t int64
+	for i := range s.ops {
+		t += s.ops[i].Load()
+	}
+	return t
+}
+
+// BytesPerOp returns average message size (Table XI's Amount/Operation), or
+// 0 when no messages were sent.
+func (s *Stats) BytesPerOp() float64 {
+	ops := s.TotalOps()
+	if ops == 0 {
+		return 0
+	}
+	return float64(s.TotalBytes()) / float64(ops)
+}
+
+// MaxCompSec returns the largest per-rank computation time — the
+// critical-path compute term.
+func (s *Stats) MaxCompSec() float64 {
+	var m float64
+	for _, v := range s.compSec {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MaxCommSec returns the largest per-rank communication time.
+func (s *Stats) MaxCommSec() float64 {
+	var m float64
+	for _, v := range s.commSec {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// CommRatio returns max-rank comm time / (comm + comp), the Fig 9 metric.
+// It is 0 when nothing was recorded.
+func (s *Stats) CommRatio() float64 {
+	comm, comp := s.MaxCommSec(), s.MaxCompSec()
+	if comm+comp == 0 {
+		return 0
+	}
+	return comm / (comm + comp)
+}
+
+// FormatMatrix renders the byte matrix as an aligned text table with the
+// given cell width, for terminal reproduction of Fig 8.
+func (s *Stats) FormatMatrix() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s", "s\\r")
+	for j := 0; j < s.p; j++ {
+		fmt.Fprintf(&b, " %10d", j)
+	}
+	b.WriteByte('\n')
+	for i := 0; i < s.p; i++ {
+		fmt.Fprintf(&b, "%6d", i)
+		for j := 0; j < s.p; j++ {
+			fmt.Fprintf(&b, " %10d", s.Bytes(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,150 @@
+// Package tuning provides model selection for the CA-SVM trainers: k-fold
+// cross-validation and (C, γ) grid search. Every candidate evaluation is a
+// full distributed training run with the configured method, so the search
+// reflects the partitioned methods' real behaviour (a γ that suits Dis-SMO
+// may differ from the best γ for CP-SVM's per-cluster models).
+package tuning
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"casvm/internal/core"
+	"casvm/internal/kernel"
+	"casvm/internal/la"
+	"casvm/internal/model"
+)
+
+// Fold is one cross-validation split.
+type Fold struct {
+	TrainRows []int
+	ValRows   []int
+}
+
+// KFold partitions m sample indices into k shuffled folds. k must be ≥ 2
+// and ≤ m.
+func KFold(m, k int, seed int64) ([]Fold, error) {
+	if k < 2 || k > m {
+		return nil, fmt.Errorf("tuning: k=%d for m=%d", k, m)
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(m)
+	folds := make([]Fold, k)
+	for f := 0; f < k; f++ {
+		lo := f * m / k
+		hi := (f + 1) * m / k
+		val := append([]int(nil), perm[lo:hi]...)
+		train := make([]int, 0, m-(hi-lo))
+		train = append(train, perm[:lo]...)
+		train = append(train, perm[hi:]...)
+		sort.Ints(val)
+		sort.Ints(train)
+		folds[f] = Fold{TrainRows: train, ValRows: val}
+	}
+	return folds, nil
+}
+
+// CrossValidate trains params on each fold's training rows and returns the
+// per-fold validation accuracies.
+func CrossValidate(x *la.Matrix, y []float64, params core.Params, folds []Fold) ([]float64, error) {
+	accs := make([]float64, len(folds))
+	for f, fold := range folds {
+		tx := x.Subset(fold.TrainRows)
+		ty := subset(y, fold.TrainRows)
+		vx := x.Subset(fold.ValRows)
+		vy := subset(y, fold.ValRows)
+		p := params
+		if p.P > tx.Rows() {
+			p.P = tx.Rows()
+		}
+		out, err := core.Train(tx, ty, p)
+		if err != nil {
+			return nil, fmt.Errorf("tuning: fold %d: %w", f, err)
+		}
+		accs[f] = out.Set.Accuracy(vx, vy)
+	}
+	return accs, nil
+}
+
+// Grid is the (C, γ) candidate set for a Gaussian-kernel search.
+type Grid struct {
+	C     []float64
+	Gamma []float64
+}
+
+// DefaultGrid returns the usual logarithmic grid around the heuristic γ.
+func DefaultGrid(gammaCenter float64) Grid {
+	return Grid{
+		C:     []float64{0.1, 1, 10},
+		Gamma: []float64{gammaCenter / 4, gammaCenter, gammaCenter * 4},
+	}
+}
+
+// Candidate is one evaluated grid point.
+type Candidate struct {
+	C, Gamma     float64
+	MeanAccuracy float64
+	FoldAccuracy []float64
+}
+
+// GridSearch evaluates every (C, γ) pair with k-fold cross-validation and
+// returns the best candidate (ties break toward smaller C then smaller γ,
+// preferring the simpler model) plus all evaluations sorted best-first.
+func GridSearch(x *la.Matrix, y []float64, base core.Params, grid Grid, k int, seed int64) (Candidate, []Candidate, error) {
+	if len(grid.C) == 0 || len(grid.Gamma) == 0 {
+		return Candidate{}, nil, fmt.Errorf("tuning: empty grid")
+	}
+	folds, err := KFold(x.Rows(), k, seed)
+	if err != nil {
+		return Candidate{}, nil, err
+	}
+	var all []Candidate
+	for _, c := range grid.C {
+		for _, g := range grid.Gamma {
+			p := base
+			p.C = c
+			p.Kernel = kernel.RBF(g)
+			accs, err := CrossValidate(x, y, p, folds)
+			if err != nil {
+				return Candidate{}, nil, err
+			}
+			var mean float64
+			for _, a := range accs {
+				mean += a
+			}
+			mean /= float64(len(accs))
+			all = append(all, Candidate{C: c, Gamma: g, MeanAccuracy: mean, FoldAccuracy: accs})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].MeanAccuracy != all[j].MeanAccuracy {
+			return all[i].MeanAccuracy > all[j].MeanAccuracy
+		}
+		if all[i].C != all[j].C {
+			return all[i].C < all[j].C
+		}
+		return all[i].Gamma < all[j].Gamma
+	})
+	return all[0], all, nil
+}
+
+// Refit trains the winning candidate on the full dataset and returns the
+// model set.
+func Refit(x *la.Matrix, y []float64, base core.Params, best Candidate) (*model.Set, error) {
+	p := base
+	p.C = best.C
+	p.Kernel = kernel.RBF(best.Gamma)
+	out, err := core.Train(x, y, p)
+	if err != nil {
+		return nil, err
+	}
+	return out.Set, nil
+}
+
+func subset(y []float64, rows []int) []float64 {
+	out := make([]float64, len(rows))
+	for k, i := range rows {
+		out[k] = y[i]
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package tuning
+
+import (
+	"testing"
+
+	"casvm/internal/core"
+	"casvm/internal/data"
+	"casvm/internal/kernel"
+)
+
+func tuningSet(t *testing.T) *data.Dataset {
+	t.Helper()
+	d, err := data.Generate(data.MixtureSpec{
+		Name: "tune", Train: 400, Test: 0, Features: 6, Clusters: 3,
+		Separation: 7, Noise: 1, PosFrac: []float64{0.5}, LabelNoise: 0.02,
+		Margin: 0.8, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestKFoldPartition(t *testing.T) {
+	folds, err := KFold(103, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("folds=%d", len(folds))
+	}
+	seen := map[int]int{}
+	for _, f := range folds {
+		if len(f.TrainRows)+len(f.ValRows) != 103 {
+			t.Fatalf("fold covers %d rows", len(f.TrainRows)+len(f.ValRows))
+		}
+		for _, i := range f.ValRows {
+			seen[i]++
+		}
+		// Train and val are disjoint.
+		inVal := map[int]bool{}
+		for _, i := range f.ValRows {
+			inVal[i] = true
+		}
+		for _, i := range f.TrainRows {
+			if inVal[i] {
+				t.Fatal("train/val overlap")
+			}
+		}
+	}
+	// Every sample appears in exactly one validation fold.
+	if len(seen) != 103 {
+		t.Fatalf("validation covers %d of 103 samples", len(seen))
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("sample %d in %d folds", i, c)
+		}
+	}
+}
+
+func TestKFoldValidation(t *testing.T) {
+	if _, err := KFold(10, 1, 1); err == nil {
+		t.Error("k=1 should fail")
+	}
+	if _, err := KFold(3, 5, 1); err == nil {
+		t.Error("k>m should fail")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	d := tuningSet(t)
+	folds, err := KFold(d.M(), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.DefaultParams(core.MethodRACA, 2)
+	p.Kernel = kernel.RBF(1.0 / 12)
+	accs, err := CrossValidate(d.X, d.Y, p, folds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accs) != 4 {
+		t.Fatalf("accs=%d", len(accs))
+	}
+	for f, a := range accs {
+		if a < 0.8 {
+			t.Errorf("fold %d accuracy %.3f", f, a)
+		}
+	}
+}
+
+func TestGridSearchFindsReasonablePoint(t *testing.T) {
+	d := tuningSet(t)
+	base := core.DefaultParams(core.MethodRACA, 2)
+	grid := Grid{
+		C: []float64{1},
+		// Include an absurd γ; the search must avoid it.
+		Gamma: []float64{1.0 / 12, 50},
+	}
+	best, all, err := GridSearch(d.X, d.Y, base, grid, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("evaluated %d candidates", len(all))
+	}
+	if best.Gamma != 1.0/12 {
+		t.Errorf("picked gamma=%v; overfitting γ=50 should lose", best.Gamma)
+	}
+	if best.MeanAccuracy < 0.85 {
+		t.Errorf("best accuracy %.3f", best.MeanAccuracy)
+	}
+	// Sorted best-first.
+	if all[0].MeanAccuracy < all[1].MeanAccuracy {
+		t.Error("candidates not sorted")
+	}
+
+	set, err := Refit(d.X, d.Y, base, best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := set.Accuracy(d.X, d.Y); acc < 0.9 {
+		t.Errorf("refit train accuracy %.3f", acc)
+	}
+}
+
+func TestGridSearchEmptyGrid(t *testing.T) {
+	d := tuningSet(t)
+	if _, _, err := GridSearch(d.X, d.Y, core.DefaultParams(core.MethodRACA, 2), Grid{}, 3, 1); err == nil {
+		t.Error("empty grid should fail")
+	}
+}
+
+func TestDefaultGrid(t *testing.T) {
+	g := DefaultGrid(0.1)
+	if len(g.C) != 3 || len(g.Gamma) != 3 {
+		t.Fatal("default grid shape")
+	}
+	if g.Gamma[1] != 0.1 {
+		t.Error("center gamma should be preserved")
+	}
+}
