@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race vet check fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full verification gate: vet plus the whole test suite under
+# the race detector (the concurrency-heavy packages — mpi, tcpmpi, faults,
+# core — are exactly where races would hide).
+check: vet race
+
+# Short fuzz sweep over every fuzz target (parsers and the wire-frame
+# decoder); the seed corpora also run in plain `make test`.
+fuzz:
+	$(GO) test -fuzz FuzzReadLIBSVM -fuzztime 10s ./internal/data
+	$(GO) test -fuzz FuzzReadFrame -fuzztime 10s ./internal/tcpmpi

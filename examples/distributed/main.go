@@ -8,6 +8,11 @@
 //
 //	go run ./examples/distributed -launch -p 4
 //
+// Fault-tolerance demo — kill a worker mid-run and watch the survivors
+// finish with the lost shard reported:
+//
+//	go run ./examples/distributed -launch -p 4 -kill-rank 2 -kill-after 1s
+//
 // Or place workers by hand (possibly on different hosts):
 //
 //	go run ./examples/distributed -rank 0 -peers host0:7070,host1:7071
@@ -23,26 +28,33 @@ import (
 	"os"
 	"os/exec"
 	"strings"
+	"time"
 
 	"casvm"
 	"casvm/internal/model"
 	"casvm/internal/tcpmpi"
 )
 
+// tagModel is the user tag for shipping a rank's model file to rank 0.
+const tagModel = 77
+
 func main() {
 	var (
-		launch = flag.Bool("launch", false, "fork -p worker processes on localhost")
-		p      = flag.Int("p", 4, "world size (with -launch)")
-		rank   = flag.Int("rank", -1, "this worker's rank (worker mode)")
-		peers  = flag.String("peers", "", "comma-separated rank addresses (worker mode)")
+		launch    = flag.Bool("launch", false, "fork -p worker processes on localhost")
+		p         = flag.Int("p", 4, "world size (with -launch)")
+		killRank  = flag.Int("kill-rank", -1, "rank to kill mid-run (with -launch)")
+		killAfter = flag.Duration("kill-after", time.Second, "how long the killed rank lives (with -kill-rank)")
+		rank      = flag.Int("rank", -1, "this worker's rank (worker mode)")
+		peers     = flag.String("peers", "", "comma-separated rank addresses (worker mode)")
+		dieAfter  = flag.Duration("die-after", 0, "crash this worker before the model gather (worker mode)")
 	)
 	flag.Parse()
 
 	switch {
 	case *launch:
-		launchWorkers(*p)
+		launchWorkers(*p, *killRank, *killAfter)
 	case *rank >= 0 && *peers != "":
-		runWorker(*rank, strings.Split(*peers, ","))
+		runWorker(*rank, strings.Split(*peers, ","), *dieAfter)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -50,8 +62,9 @@ func main() {
 }
 
 // launchWorkers picks free ports, forks one worker per rank and streams
-// their output.
-func launchWorkers(p int) {
+// their output. When killRank is set, that worker is told to crash after
+// killAfter; its death is expected and does not fail the launch.
+func launchWorkers(p, killRank int, killAfter time.Duration) {
 	addrs := make([]string, p)
 	for i := range addrs {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -63,10 +76,17 @@ func launchWorkers(p int) {
 	}
 	peerList := strings.Join(addrs, ",")
 	fmt.Printf("launching %d workers: %s\n", p, peerList)
+	if killRank >= 0 {
+		fmt.Printf("rank %d will be killed after %v\n", killRank, killAfter)
+	}
 	procs := make([]*exec.Cmd, p)
 	outs := make([]bytes.Buffer, p)
 	for r := 0; r < p; r++ {
-		cmd := exec.Command(os.Args[0], "-rank", fmt.Sprint(r), "-peers", peerList)
+		args := []string{"-rank", fmt.Sprint(r), "-peers", peerList}
+		if r == killRank {
+			args = append(args, "-die-after", killAfter.String())
+		}
+		cmd := exec.Command(os.Args[0], args...)
 		cmd.Stdout = &outs[r]
 		cmd.Stderr = &outs[r]
 		if err := cmd.Start(); err != nil {
@@ -77,8 +97,12 @@ func launchWorkers(p int) {
 	failed := false
 	for r, cmd := range procs {
 		if err := cmd.Wait(); err != nil {
-			failed = true
-			fmt.Printf("worker %d failed: %v\n", r, err)
+			if r == killRank {
+				fmt.Printf("worker %d died as requested: %v\n", r, err)
+			} else {
+				failed = true
+				fmt.Printf("worker %d failed: %v\n", r, err)
+			}
 		}
 		fmt.Printf("--- worker %d ---\n%s", r, outs[r].String())
 	}
@@ -87,10 +111,18 @@ func launchWorkers(p int) {
 	}
 }
 
-// runWorker is one rank: local shard → local training → model gather.
-func runWorker(rank int, addrs []string) {
+// runWorker is one rank: local shard → local training → model gather. A
+// non-zero dieAfter crashes the worker before it ships its model,
+// simulating a mid-run node death the survivors must tolerate.
+func runWorker(rank int, addrs []string, dieAfter time.Duration) {
+	start := time.Now()
 	p := len(addrs)
-	comm, err := tcpmpi.Dial(rank, addrs)
+	// Short heartbeats so a dead peer is detected in a couple of seconds
+	// rather than the production default.
+	comm, err := tcpmpi.DialOptions(rank, addrs, tcpmpi.Options{
+		HeartbeatInterval: 500 * time.Millisecond,
+		HeartbeatTimeout:  2 * time.Second,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -130,33 +162,64 @@ func runWorker(rank int, addrs []string) {
 	fmt.Printf("rank %d: trained on %d samples, %d SVs, %d iterations\n",
 		rank, localX.Rows(), out.Stats.SVs, out.Stats.Iters)
 
+	if dieAfter > 0 {
+		// Injected crash: hold the connection open until the deadline so
+		// the death lands mid-run, then exit without shipping the model.
+		if lived := time.Since(start); lived < dieAfter {
+			time.Sleep(dieAfter - lived)
+		}
+		fmt.Printf("rank %d: dying now (injected crash before model gather)\n", rank)
+		os.Exit(1)
+	}
+
 	// Ship the model file (and routing center) to rank 0 — the only
 	// communication in the entire run.
 	var buf bytes.Buffer
 	if err := model.SaveSet(&buf, out.Set); err != nil {
 		log.Fatal(err)
 	}
-	gathered, err := comm.Gatherv(0, buf.Bytes())
-	if err != nil {
-		log.Fatal(err)
-	}
 	if rank != 0 {
+		if err := comm.Send(0, tagModel, buf.Bytes()); err != nil {
+			// Root gone: nothing useful left to do, but this worker did
+			// its job — don't report a spurious failure.
+			fmt.Printf("rank %d: model gather failed (%v), exiting\n", rank, err)
+		}
 		return
 	}
 
-	// Rank 0 assembles the routed model set and evaluates.
-	set := &casvm.ModelSet{}
-	centerData := make([]float64, 0, p*ds.Features())
-	for r, raw := range gathered {
-		ms, err := model.LoadSet(bytes.NewReader(raw))
+	// Rank 0 collects every shard's model, tolerating dead ranks: a rank
+	// whose connection dies (and stays down past the reconnect window)
+	// costs its shard, not the run.
+	type shard struct {
+		rank int
+		raw  []byte
+	}
+	var shards []shard
+	var lost []int
+	shards = append(shards, shard{rank: 0, raw: buf.Bytes()})
+	for src := 1; src < p; src++ {
+		raw, err := comm.Recv(src, tagModel)
 		if err != nil {
-			log.Fatalf("rank %d model: %v", r, err)
+			fmt.Printf("rank 0: shard %d lost (%v)\n", src, err)
+			lost = append(lost, src)
+			continue
+		}
+		shards = append(shards, shard{rank: src, raw: raw})
+	}
+
+	// Assemble the routed model set from the survivors and evaluate.
+	set := &casvm.ModelSet{}
+	centerData := make([]float64, 0, len(shards)*ds.Features())
+	for _, s := range shards {
+		ms, err := model.LoadSet(bytes.NewReader(s.raw))
+		if err != nil {
+			log.Fatalf("rank %d model: %v", s.rank, err)
 		}
 		set.Models = append(set.Models, ms.Models[0])
 		// Center = mean of the rank's shard (eqn 14), recomputed here
 		// from the deterministic shard definition.
-		lo, hi := r*per, (r+1)*per
-		if r == p-1 {
+		lo, hi := s.rank*per, (s.rank+1)*per
+		if s.rank == p-1 {
 			hi = ds.M()
 		}
 		rows := make([]int, 0, hi-lo)
@@ -165,8 +228,12 @@ func runWorker(rank int, addrs []string) {
 		}
 		centerData = append(centerData, ds.X.Mean(rows)...)
 	}
-	set.Centers = newDense(p, ds.Features(), centerData)
+	set.Centers = newDense(len(shards), ds.Features(), centerData)
 	acc := set.Accuracy(ds.TestX, ds.TestY)
+	if len(lost) > 0 {
+		fmt.Printf("rank 0: completed degraded — lost shard(s) %v, %d/%d model files assembled\n",
+			lost, len(shards), p)
+	}
 	fmt.Printf("rank 0: assembled %d model files; routed test accuracy %.2f%%\n",
 		set.P(), 100*acc)
 }

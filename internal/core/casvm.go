@@ -67,7 +67,7 @@ func trainCASVM(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params, out *ra
 	out.partSize = local.x.Rows()
 	out.initSec = c.Clock()
 
-	res, err := smo.Solve(local.x, local.y, p.solverConfig(), nil)
+	res, err := smo.Solve(local.x, local.y, p.solverConfigAt(c.Rank()), nil)
 	if err != nil {
 		return err
 	}

@@ -21,6 +21,7 @@ import (
 	"casvm/internal/kernel"
 	"casvm/internal/la"
 	"casvm/internal/model"
+	"casvm/internal/mpi"
 	"casvm/internal/perfmodel"
 	"casvm/internal/smo"
 	"casvm/internal/trace"
@@ -105,6 +106,38 @@ type Params struct {
 	// feedback loop). 0 or 1 means a single pass — the paper notes one
 	// pass is almost always enough.
 	CascadePasses int
+
+	// Faults installs a fault injector for chaos testing (usually a
+	// *faults.Injector): its transport hook intercepts every remote
+	// message, and CrashCheck is polled by the training loops so a rank
+	// can be killed at iteration k even during the zero-communication
+	// CA-SVM training phase.
+	Faults FaultInjector
+
+	// Degraded lets the independent-model methods (CP-SVM and the CA-SVM
+	// variants) survive rank crashes: training completes with the
+	// surviving shards' models, Stats.LostRanks reports the shards lost,
+	// and prediction routes over the survivors. Methods that genuinely
+	// need every rank (Dis-SMO, the reduction trees) still fail fast.
+	Degraded bool
+}
+
+// FaultInjector is what Params.Faults accepts: a transport hook for
+// message-level faults plus an iteration-crash check for compute-phase
+// faults. faults.Injector implements it.
+type FaultInjector interface {
+	mpi.TransportHook
+	CrashCheck(rank, iter int) error
+}
+
+// independentModels reports whether the method trains one independent
+// model per rank (so losing a rank costs one shard, not the run).
+func (m Method) independentModels() bool {
+	switch m {
+	case MethodCPSVM, MethodBKMCA, MethodFCFSCA, MethodRACA:
+		return true
+	}
+	return false
 }
 
 // DefaultParams returns a ready-to-use parameter set for the given method
@@ -141,6 +174,16 @@ func (p Params) validate(m int) error {
 func (p Params) solverConfig() smo.Config {
 	return smo.Config{C: p.C, Tol: p.Tol, MaxIter: p.MaxIter, Kernel: p.Kernel,
 		PosWeight: p.PosWeight}
+}
+
+// solverConfigAt is solverConfig plus the rank's fault-injection interrupt
+// (a no-op without an injector).
+func (p Params) solverConfigAt(rank int) smo.Config {
+	cfg := p.solverConfig()
+	if p.Faults != nil {
+		cfg.Interrupt = func(iter int) error { return p.Faults.CrashCheck(rank, iter) }
+	}
+	return cfg
 }
 
 // NodeStat profiles one node's work within a layer (the rows of Table V).
@@ -239,6 +282,12 @@ type Stats struct {
 	NodeNeg   []int
 	NodeSVPos []int
 	NodeSVNeg []int
+
+	// LostRanks lists ranks that crashed during the run (from
+	// trace.Stats); Degraded is true when training completed without
+	// them. Both are empty/false for a clean run.
+	LostRanks []int
+	Degraded  bool
 }
 
 // Output bundles the trained model set with the run statistics.
@@ -288,6 +337,7 @@ func fillCommStats(st *Stats, ts *trace.Stats) {
 	st.CommMatrix = ts.Matrix()
 	st.CommSec = ts.MaxCommSec()
 	st.CompSec = ts.MaxCompSec()
+	st.LostRanks = ts.LostRanks()
 }
 
 // evenBlocks splits m samples into P nearly-even contiguous blocks and

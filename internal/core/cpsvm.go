@@ -26,7 +26,7 @@ func trainCPSVM(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params, out *ra
 	out.center = append([]float64(nil), km.Centers.DenseRow(c.Rank())...)
 	out.initSec = c.Clock()
 
-	res, err := smo.Solve(local.x, local.y, p.solverConfig(), nil)
+	res, err := smo.Solve(local.x, local.y, p.solverConfigAt(c.Rank()), nil)
 	if err != nil {
 		return err
 	}

@@ -48,6 +48,11 @@ func trainDisSMO(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params, out *r
 	buf := make([]float64, local.x.Rows())
 	iters := 0
 	for iters < maxIter {
+		if p.Faults != nil {
+			if err := p.Faults.CrashCheck(c.Rank(), iters); err != nil {
+				return err
+			}
+		}
 		bh, ih, bl, il := solver.LocalExtremes()
 		c.Charge(solver.TakeFlops())
 		high := c.AllreduceMinLoc(bh, ih)

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"casvm/internal/faults"
+	"casvm/internal/mpi"
+)
+
+// TestCASVMDegradedSurvivesRankCrash is the acceptance scenario: with P=8
+// and one rank crashed mid-training, the CA-SVM path completes in degraded
+// mode with 7/8 shards' models and prediction accuracy within 2 points of
+// the fault-free run; the lost shard is reported.
+func TestCASVMDegradedSurvivesRankCrash(t *testing.T) {
+	d := testSet(t, 480)
+
+	clean := paramsFor(MethodRACA, 8, d)
+	cleanOut, err := Train(d.X, d.Y, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanAcc := cleanOut.Set.Accuracy(d.TestX, d.TestY)
+
+	pr := paramsFor(MethodRACA, 8, d)
+	pr.Degraded = true
+	pr.Faults = faults.New(faults.Plan{CrashAtIter: map[int]int{3: 10}})
+	out, err := Train(d.X, d.Y, pr)
+	if err != nil {
+		t.Fatalf("degraded training failed: %v", err)
+	}
+	if !out.Stats.Degraded {
+		t.Fatal("Stats.Degraded not set")
+	}
+	if got := out.Stats.LostRanks; len(got) != 1 || got[0] != 3 {
+		t.Fatalf("LostRanks=%v, want [3]", got)
+	}
+	if out.Set.P() != 7 {
+		t.Fatalf("survivor models: %d, want 7", out.Set.P())
+	}
+	acc := out.Set.Accuracy(d.TestX, d.TestY)
+	if acc < cleanAcc-0.02 {
+		t.Fatalf("degraded accuracy %.3f vs clean %.3f: drop exceeds 2 points", acc, cleanAcc)
+	}
+	// Routed voting over survivors must hold up as well.
+	voteAcc := out.Set.AccuracyVote(d.TestX, d.TestY, 3)
+	if voteAcc < cleanAcc-0.02 {
+		t.Fatalf("degraded vote accuracy %.3f vs clean %.3f: drop exceeds 2 points", voteAcc, cleanAcc)
+	}
+}
+
+// TestDisSMOFailsFastOnCrash: a method that genuinely needs every rank
+// must not hang when one dies — peers blocked in allreduce are unblocked
+// and the crashed rank's typed error surfaces.
+func TestDisSMOFailsFastOnCrash(t *testing.T) {
+	d := testSet(t, 240)
+	pr := paramsFor(MethodDisSMO, 8, d)
+	pr.Degraded = true // degraded mode cannot save a tightly-coupled method
+	pr.Faults = faults.New(faults.Plan{CrashAtIter: map[int]int{3: 5}})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := Train(d.X, d.Y, pr)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var crash *mpi.CrashError
+		if !errors.As(err, &crash) {
+			t.Fatalf("want CrashError, got %v", err)
+		}
+		if crash.Rank != 3 {
+			t.Fatalf("crashed rank %d, want 3", crash.Rank)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("dis-SMO hung after a rank crash")
+	}
+}
+
+// TestDegradedOffStillAborts: without the opt-in, a crash aborts even the
+// independent-model methods.
+func TestDegradedOffStillAborts(t *testing.T) {
+	d := testSet(t, 240)
+	pr := paramsFor(MethodRACA, 8, d)
+	pr.Faults = faults.New(faults.Plan{CrashAtIter: map[int]int{2: 5}})
+	_, err := Train(d.X, d.Y, pr)
+	var crash *mpi.CrashError
+	if !errors.As(err, &crash) || crash.Rank != 2 {
+		t.Fatalf("want rank-2 CrashError, got %v", err)
+	}
+}
+
+// TestCorruptionBoundedOutcome: corrupting every message on the wire must
+// never hang or panic the runtime — training either completes (a flipped
+// feature byte decodes to a perturbed but valid sample) or fails with a
+// structural decode error, and is never misreported as a rank crash.
+func TestCorruptionBoundedOutcome(t *testing.T) {
+	d := testSet(t, 240)
+	in := faults.New(faults.Plan{Seed: 5, CorruptProb: 1})
+	pr := paramsFor(MethodRACA, 4, d)
+	pr.Placement = PlacementRoot // force a scatter so there is traffic to corrupt
+	pr.Faults = in
+	done := make(chan error, 1)
+	go func() {
+		_, err := Train(d.X, d.Y, pr)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var crash *mpi.CrashError
+		if errors.As(err, &crash) {
+			t.Fatalf("corruption misreported as crash: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("corrupted run hung")
+	}
+	if in.Count("corrupt") == 0 {
+		t.Fatal("no corruption was injected")
+	}
+}
+
+// TestDelayInjectionPreservesModel: pure latency faults change virtual
+// time, never results.
+func TestDelayInjectionPreservesModel(t *testing.T) {
+	d := testSet(t, 240)
+	pr := paramsFor(MethodCPSVM, 4, d)
+	base, err := Train(d.X, d.Y, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr2 := paramsFor(MethodCPSVM, 4, d)
+	pr2.Faults = faults.New(faults.Plan{Seed: 9, DelayProb: 0.5, DelaySec: 1e-3})
+	slow, err := Train(d.X, d.Y, pr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats.SVs != slow.Stats.SVs || base.Stats.Iters != slow.Stats.Iters {
+		t.Fatalf("delays changed training: svs %d vs %d, iters %d vs %d",
+			base.Stats.SVs, slow.Stats.SVs, base.Stats.Iters, slow.Stats.Iters)
+	}
+	if slow.Stats.TotalSec <= base.Stats.TotalSec {
+		t.Fatalf("delays not charged: %.6f vs %.6f", slow.Stats.TotalSec, base.Stats.TotalSec)
+	}
+}

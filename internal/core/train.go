@@ -21,6 +21,9 @@ func Train(x *la.Matrix, y []float64, p Params) (*Output, error) {
 		return nil, err
 	}
 	world := mpi.NewWorld(p.P, p.Machine, p.Seed)
+	if p.Faults != nil {
+		world.SetTransportHook(p.Faults)
+	}
 	results := make([]rankResult, p.P)
 	lc := newLayerCollector()
 
@@ -44,8 +47,17 @@ func Train(x *la.Matrix, y []float64, p Params) (*Output, error) {
 			return fmt.Errorf("core: unimplemented method %q", p.Method)
 		}
 	})
+	degraded := false
 	if err != nil {
-		return nil, err
+		// A crashed rank costs only its shard for the independent-model
+		// methods when the caller opted into degraded completion; any
+		// other failure — or a method that genuinely needs every rank —
+		// aborts the run with the rank's error.
+		var crash *mpi.CrashError
+		if !(p.Degraded && p.Method.independentModels() && errors.As(err, &crash)) {
+			return nil, err
+		}
+		degraded = true
 	}
 	wall := time.Since(wall0)
 
@@ -97,20 +109,27 @@ func Train(x *la.Matrix, y []float64, p Params) (*Output, error) {
 		set = model.Single(results[0].local, nil)
 	default: // CP-SVM and the CA-SVM variants: one model per rank
 		n := x.Features()
-		centers := make([]float64, p.P*n)
-		models := make([]*model.Model, p.P)
+		var centers []float64
+		var models []*model.Model
 		for r := range results {
 			if results[r].local == nil {
+				if degraded {
+					continue // lost shard: survivors carry the prediction
+				}
 				return nil, fmt.Errorf("core: rank %d produced no model", r)
 			}
-			models[r] = results[r].local
-			copy(centers[r*n:(r+1)*n], results[r].center)
+			models = append(models, results[r].local)
+			centers = append(centers, results[r].center...)
 			st.SVs += results[r].svs
 			if results[r].iters > st.Iters {
 				st.Iters = results[r].iters
 			}
 		}
-		set = &model.Set{Models: models, Centers: la.NewDense(p.P, n, centers)}
+		if len(models) == 0 {
+			return nil, fmt.Errorf("core: every rank crashed: %w", err)
+		}
+		set = &model.Set{Models: models, Centers: la.NewDense(len(models), n, centers)}
 	}
+	st.Degraded = degraded
 	return &Output{Set: set, Stats: st}, nil
 }

@@ -145,7 +145,7 @@ func runTreePass(c *mpi.Comm, current part, p Params, passAll bool,
 			return part{}, nil, nil // retired in an earlier layer
 		}
 		t0 := c.Clock()
-		res, err := smo.Solve(current.x, current.y, p.solverConfig(), current.alpha)
+		res, err := smo.Solve(current.x, current.y, p.solverConfigAt(c.Rank()), current.alpha)
 		if err != nil {
 			return part{}, nil, err
 		}

@@ -1,0 +1,196 @@
+// Package faults is a deterministic, seeded fault injector for the
+// in-process message-passing runtime. It implements mpi.TransportHook, so
+// installing it on a World (mpi.World.SetTransportHook) subjects every
+// remote transfer of every collective and every training method to
+// configurable chaos: message drop, delay, duplication, byte corruption,
+// and rank crashes — either at the k-th message a rank sends or at
+// training iteration k (via CrashCheck, polled by the SMO solvers).
+//
+// Determinism: each sending rank draws from its own RNG stream derived
+// from Plan.Seed, so the fault schedule depends only on (seed, per-rank
+// message order), not on goroutine interleaving across ranks. Two runs of
+// a deterministic program with the same plan inject the same faults.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"casvm/internal/mpi"
+)
+
+// Plan configures an Injector. Probabilities are per-message in [0,1];
+// the zero value injects nothing.
+type Plan struct {
+	Seed int64
+
+	// DropProb silently discards a message. The in-process runtime has no
+	// retransmission, so any nonzero drop rate will hang collectives —
+	// use it only with transports or tests that bound waiting.
+	DropProb float64
+	// DupProb delivers one extra copy of a message.
+	DupProb float64
+	// CorruptProb flips one random byte of the payload (on a copy).
+	CorruptProb float64
+	// DelayProb adds DelaySec of virtual latency to a message.
+	DelayProb float64
+	// DelaySec is the virtual delay injected by DelayProb (seconds).
+	DelaySec float64
+
+	// MaxFaults caps the total number of injected message faults
+	// (drop+dup+corrupt+delay); 0 means unlimited. Crashes do not count.
+	MaxFaults int
+
+	// CrashAtSend kills rank r the moment it attempts its k-th remote
+	// send (1-based): CrashAtSend[r] = k.
+	CrashAtSend map[int]int
+	// CrashAtIter kills rank r when its training loop reports iteration
+	// k to CrashCheck: CrashAtIter[r] = k. This reaches the
+	// zero-communication CA-SVM training phase, which no transport hook
+	// can see.
+	CrashAtIter map[int]int
+}
+
+// Event records one injected fault, for assertions and debugging.
+type Event struct {
+	Kind     string // "drop" | "dup" | "corrupt" | "delay" | "crash-send" | "crash-iter"
+	Src, Dst int    // Dst is -1 for iteration crashes
+	Tag      int
+	Iter     int // iteration for crash-iter events; -1 otherwise
+}
+
+func (e Event) String() string {
+	if e.Kind == "crash-iter" {
+		return fmt.Sprintf("crash-iter rank %d iter %d", e.Src, e.Iter)
+	}
+	return fmt.Sprintf("%s %d->%d tag %d", e.Kind, e.Src, e.Dst, e.Tag)
+}
+
+// Injector applies a Plan. It is safe for concurrent use by every rank
+// goroutine of a world and may be reused across worlds (counters persist;
+// build a fresh Injector per run for a clean schedule).
+type Injector struct {
+	plan Plan
+
+	mu      sync.Mutex
+	rngs    map[int]*rand.Rand
+	sends   map[int]int // remote sends attempted per rank
+	crashed map[int]bool
+	faults  int
+	events  []Event
+}
+
+// New builds an injector for the plan.
+func New(plan Plan) *Injector {
+	return &Injector{
+		plan:    plan,
+		rngs:    map[int]*rand.Rand{},
+		sends:   map[int]int{},
+		crashed: map[int]bool{},
+	}
+}
+
+// rng returns rank's private deterministic stream (callers hold in.mu).
+func (in *Injector) rng(rank int) *rand.Rand {
+	r, ok := in.rngs[rank]
+	if !ok {
+		r = rand.New(rand.NewSource(in.plan.Seed*6364136223846793005 + int64(rank) + 1442695040888963407))
+		in.rngs[rank] = r
+	}
+	return r
+}
+
+func (in *Injector) budget() bool {
+	return in.plan.MaxFaults == 0 || in.faults < in.plan.MaxFaults
+}
+
+// Intercept implements mpi.TransportHook.
+func (in *Injector) Intercept(src, dst, tag int, data []byte) mpi.Verdict {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+
+	in.sends[src]++
+	if k, ok := in.plan.CrashAtSend[src]; ok && !in.crashed[src] && in.sends[src] >= k {
+		in.crashed[src] = true
+		in.events = append(in.events, Event{Kind: "crash-send", Src: src, Dst: dst, Tag: tag, Iter: -1})
+		return mpi.Verdict{CrashErr: &mpi.CrashError{Rank: src, Iter: -1,
+			Site: fmt.Sprintf("send #%d to rank %d", in.sends[src], dst)}}
+	}
+
+	var v mpi.Verdict
+	rng := in.rng(src)
+	// Draw every gate unconditionally so the schedule does not depend on
+	// which earlier gates fired (stable stream consumption).
+	drop := rng.Float64() < in.plan.DropProb
+	dup := rng.Float64() < in.plan.DupProb
+	corrupt := rng.Float64() < in.plan.CorruptProb
+	delay := rng.Float64() < in.plan.DelayProb
+	pos := 0
+	if len(data) > 0 {
+		pos = rng.Intn(len(data))
+	}
+
+	if drop && in.budget() {
+		in.faults++
+		in.events = append(in.events, Event{Kind: "drop", Src: src, Dst: dst, Tag: tag, Iter: -1})
+		v.Drop = true
+		return v
+	}
+	if corrupt && len(data) > 0 && in.budget() {
+		in.faults++
+		in.events = append(in.events, Event{Kind: "corrupt", Src: src, Dst: dst, Tag: tag, Iter: -1})
+		mutated := append([]byte(nil), data...)
+		mutated[pos] ^= 0xFF
+		v.Payload = mutated
+	}
+	if dup && in.budget() {
+		in.faults++
+		in.events = append(in.events, Event{Kind: "dup", Src: src, Dst: dst, Tag: tag, Iter: -1})
+		v.Duplicates = 1
+	}
+	if delay && in.plan.DelaySec > 0 && in.budget() {
+		in.faults++
+		in.events = append(in.events, Event{Kind: "delay", Src: src, Dst: dst, Tag: tag, Iter: -1})
+		v.DelaySec = in.plan.DelaySec
+	}
+	return v
+}
+
+// CrashCheck is polled by training loops with the rank's current iteration
+// count; it returns a *mpi.CrashError when the plan kills this rank at (or
+// before) that iteration, and nil otherwise.
+func (in *Injector) CrashCheck(rank, iter int) error {
+	k, ok := in.plan.CrashAtIter[rank]
+	if !ok || iter < k {
+		return nil
+	}
+	in.mu.Lock()
+	if !in.crashed[rank] {
+		in.crashed[rank] = true
+		in.events = append(in.events, Event{Kind: "crash-iter", Src: rank, Dst: -1, Tag: -1, Iter: iter})
+	}
+	in.mu.Unlock()
+	return &mpi.CrashError{Rank: rank, Iter: iter, Site: "training loop"}
+}
+
+// Events returns a copy of the injected-fault log in injection order.
+func (in *Injector) Events() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Event(nil), in.events...)
+}
+
+// Count returns how many events of the given kind were injected ("" counts
+// everything).
+func (in *Injector) Count(kind string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, e := range in.events {
+		if kind == "" || e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

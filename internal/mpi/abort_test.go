@@ -1,0 +1,104 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// runWithDeadline fails the test if w.Run does not return within the
+// deadline — an abort that leaves any rank blocked is a hang, not an
+// error path.
+func runWithDeadline(t *testing.T, w *World, f func(c *Comm) error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- w.Run(f) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(30 * time.Second):
+		t.Fatal("world did not abort: ranks still blocked")
+		return nil
+	}
+}
+
+// TestAbortUnblocksBcast: a rank that errors out while its peers sit
+// inside a collective broadcast must unblock every one of them, and the
+// world must surface the real error, not the secondary ErrAborted the
+// peers died with.
+func TestAbortUnblocksBcast(t *testing.T) {
+	w := testWorld(4)
+	boom := errors.New("rank 2 gave up")
+	err := runWithDeadline(t, w, func(c *Comm) error {
+		if c.Rank() == 2 {
+			return boom
+		}
+		// Root never shows up; without the abort machinery the remaining
+		// ranks block in Recv inside Bcast.
+		c.Bcast(2, nil)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want the real error, got %v", err)
+	}
+	if errors.Is(err, ErrAborted) {
+		t.Fatalf("surfaced secondary abort error: %v", err)
+	}
+}
+
+// TestAbortUnblocksAllreduce: same contract for the reduction tree, where
+// every rank is both sender and receiver.
+func TestAbortUnblocksAllreduce(t *testing.T) {
+	w := testWorld(4)
+	boom := errors.New("rank 0 gave up")
+	err := runWithDeadline(t, w, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return boom
+		}
+		c.AllreduceSum([]float64{1, 2, 3})
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want the real error, got %v", err)
+	}
+}
+
+// TestAbortSurfacesFirstRealError: when one rank fails with a real error
+// and the rest are killed by the abort, only the real error comes back
+// even though several goroutines terminated abnormally.
+func TestAbortSurfacesFirstRealError(t *testing.T) {
+	w := testWorld(8)
+	err := runWithDeadline(t, w, func(c *Comm) error {
+		if c.Rank() == 5 {
+			return fmt.Errorf("rank %d: disk on fire", c.Rank())
+		}
+		c.Barrier()
+		return nil
+	})
+	if err == nil || err.Error() != "rank 5: disk on fire" {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+// TestCrashErrorMarksRankLost: a CrashError (what the fault injector
+// throws) must abort the world, surface typed, and record the rank in the
+// trace's lost set — peers' secondary aborts must not pollute it.
+func TestCrashErrorMarksRankLost(t *testing.T) {
+	w := testWorld(4)
+	err := runWithDeadline(t, w, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return &CrashError{Rank: 1, Iter: 7, Site: "test"}
+		}
+		c.Bcast(0, []byte("x"))
+		c.Barrier()
+		return nil
+	})
+	var crash *CrashError
+	if !errors.As(err, &crash) || crash.Rank != 1 || crash.Iter != 7 {
+		t.Fatalf("want rank-1 CrashError, got %v", err)
+	}
+	if got := w.Stats().LostRanks(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("LostRanks=%v, want [1]", got)
+	}
+}

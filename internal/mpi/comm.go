@@ -76,14 +76,40 @@ func (c *Comm) send(dst, tag int, data []byte) {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
 	}
 	if dst == c.rank {
-		// Local delivery: no network cost, no accounting.
+		// Local delivery: no network cost, no accounting, no fault
+		// injection (nothing touches a wire).
 		c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: data, clock: c.clock})
 		return
 	}
-	cost := c.world.machine.PtoP(len(data))
-	c.chargeComm(cost)
-	c.world.stats.RecordSend(c.rank, dst, len(data))
-	c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: data, clock: c.clock})
+	arrival := c.clock // set after the send cost below
+	copies := 1
+	if h := c.world.hook; h != nil {
+		v := h.Intercept(c.rank, dst, tag, data)
+		if v.CrashErr != nil {
+			// The sending rank dies mid-send. Run recovers the panic,
+			// aborts the world and surfaces the typed error.
+			panic(v.CrashErr)
+		}
+		if v.Payload != nil {
+			data = v.Payload
+		}
+		cost := c.world.machine.PtoP(len(data))
+		c.chargeComm(cost)
+		c.world.stats.RecordSend(c.rank, dst, len(data))
+		if v.Drop {
+			return
+		}
+		arrival = c.clock + v.DelaySec
+		copies += v.Duplicates
+	} else {
+		cost := c.world.machine.PtoP(len(data))
+		c.chargeComm(cost)
+		c.world.stats.RecordSend(c.rank, dst, len(data))
+		arrival = c.clock
+	}
+	for i := 0; i < copies; i++ {
+		c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: data, clock: arrival})
+	}
 }
 
 // Recv blocks until a message with the given tag arrives from src

@@ -32,6 +32,51 @@ import (
 // the world.
 var ErrAborted = errors.New("mpi: world aborted")
 
+// CrashError reports a rank deliberately killed — by fault injection or by
+// an external failure detector. Callers that support degraded-mode
+// completion (the independent-model CA-SVM paths) match it with errors.As
+// to distinguish a lost rank from a genuine algorithmic failure.
+type CrashError struct {
+	Rank int
+	Iter int    // training iteration at the crash point (-1 if not iteration-bound)
+	Site string // short description of where the crash was injected
+}
+
+func (e *CrashError) Error() string {
+	if e.Iter >= 0 {
+		return fmt.Sprintf("mpi: rank %d crashed at iteration %d (%s)", e.Rank, e.Iter, e.Site)
+	}
+	return fmt.Sprintf("mpi: rank %d crashed (%s)", e.Rank, e.Site)
+}
+
+// Verdict is a transport hook's instruction for one intercepted transfer.
+// The zero value delivers the message untouched.
+type Verdict struct {
+	// Drop silently discards the message. The sender still pays the wire
+	// cost (the bytes left the NIC); the receiver never sees it.
+	Drop bool
+	// Duplicates delivers this many extra copies after the original.
+	Duplicates int
+	// DelaySec adds virtual network latency: the receiver's clock
+	// synchronises to the sender's clock plus this delay. The sender is
+	// not slowed (sends are asynchronous).
+	DelaySec float64
+	// Payload, when non-nil, replaces the message body (corruption). The
+	// hook must not alias the original slice.
+	Payload []byte
+	// CrashErr, when non-nil, kills the sending rank: the send panics with
+	// this error, Run recovers it, and the world aborts.
+	CrashErr error
+}
+
+// TransportHook observes and perturbs every remote point-to-point transfer
+// in the world — the injection point of internal/faults. It is called from
+// every rank goroutine concurrently and must be safe for concurrent use.
+// Self-sends are not intercepted (they never touch a wire).
+type TransportHook interface {
+	Intercept(src, dst, tag int, data []byte) Verdict
+}
+
 // message is one point-to-point transfer.
 type message struct {
 	src   int
@@ -99,10 +144,15 @@ type World struct {
 	stats   *trace.Stats
 	boxes   []*mailbox
 	seed    int64
+	hook    TransportHook
 
 	abortOnce   sync.Once
 	finalClocks clockBoard
 }
+
+// SetTransportHook installs a fault-injection hook intercepting every
+// remote transfer. Call it before Run; the hook must be concurrency-safe.
+func (w *World) SetTransportHook(h TransportHook) { w.hook = h }
 
 // NewWorld creates a world of p ranks with the given machine model and RNG
 // seed (each rank derives its own deterministic stream).
@@ -154,10 +204,18 @@ func (w *World) Run(f func(c *Comm) error) error {
 			defer wg.Done()
 			defer func() {
 				if rec := recover(); rec != nil {
-					if err, ok := rec.(error); ok && errors.Is(err, ErrAborted) {
+					var crash *CrashError
+					switch err, ok := rec.(error); {
+					case ok && errors.Is(err, ErrAborted):
 						errs[rank] = ErrAborted
-					} else {
+					case ok && errors.As(err, &crash):
+						// Injected crash: keep the typed error so callers
+						// can elect degraded-mode completion.
+						errs[rank] = err
+						w.stats.RecordLost(rank)
+					default:
 						errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
+						w.stats.RecordLost(rank)
 					}
 					w.abort()
 				}
@@ -171,6 +229,9 @@ func (w *World) Run(f func(c *Comm) error) error {
 			w.finalClocks.set(rank, c.clock)
 			if err != nil {
 				errs[rank] = err
+				if !errors.Is(err, ErrAborted) {
+					w.stats.RecordLost(rank)
+				}
 				w.abort()
 			}
 		}(r)

@@ -55,6 +55,11 @@ type Config struct {
 	// time is unaffected (flop counts are deterministic); only wall time
 	// improves.
 	Threads int
+	// Interrupt, when non-nil, is polled with the iteration count before
+	// every Solve step; a non-nil return aborts the solve with that
+	// error. Fault injection uses it to crash a rank at iteration k even
+	// in training phases that never touch the network.
+	Interrupt func(iter int) error
 }
 
 func (c Config) posWeight() float64 {
@@ -462,6 +467,11 @@ func Solve(x *la.Matrix, y []float64, cfg Config, warm []float64) (*Result, erro
 	}
 	converged := false
 	for s.iters < maxIter {
+		if cfg.Interrupt != nil {
+			if err := cfg.Interrupt(s.iters); err != nil {
+				return nil, err
+			}
+		}
 		if s.Step() {
 			converged = true
 			break

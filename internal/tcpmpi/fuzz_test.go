@@ -1,0 +1,57 @@
+package tcpmpi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// frameBytes assembles a well-formed frame for the seed corpus.
+func frameBytes(tag int32, seq uint32, payload []byte) []byte {
+	buf := make([]byte, frameHeaderLen+len(payload))
+	putFrameHeader(buf, int(tag), seq, len(payload))
+	copy(buf[frameHeaderLen:], payload)
+	return buf
+}
+
+// FuzzReadFrame asserts the wire-frame decoder never panics or
+// over-allocates on hostile input: truncated headers, truncated payloads,
+// oversized length fields and zero-length payloads must all come back as
+// errors or consistent frames. Run with `go test -fuzz FuzzReadFrame
+// ./internal/tcpmpi` for extended exploration; the seed corpus runs in
+// normal test mode.
+func FuzzReadFrame(f *testing.F) {
+	oversized := make([]byte, frameHeaderLen)
+	putFrameHeader(oversized, 1, 1, 0)
+	binary.LittleEndian.PutUint32(oversized[8:12], maxFrame+1)
+
+	seeds := [][]byte{
+		nil,
+		{0x01},
+		{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07},   // truncated header
+		frameBytes(5, 1, nil),                        // zero-length payload
+		frameBytes(5, 0, []byte("control")),          // seq-0 (control) frame
+		frameBytes(-2147483648, 0, nil),              // heartbeat tag
+		frameBytes(7, 3, []byte("hello world")),      // normal frame
+		frameBytes(7, 3, []byte("hello world"))[:15], // truncated payload
+		oversized, // length field past maxFrame
+		append(frameBytes(1, 1, []byte("a")), 0xFF, 0xFF), // trailing garbage
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in []byte) {
+		tag, seq, payload, err := readFrame(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		// An accepted frame must round-trip through the encoder.
+		if len(payload) > maxFrame {
+			t.Fatalf("accepted oversized payload: %d bytes", len(payload))
+		}
+		out := frameBytes(int32(tag), seq, payload)
+		if !bytes.Equal(out, in[:len(out)]) {
+			t.Fatalf("frame does not round-trip: tag=%d seq=%d len=%d", tag, seq, len(payload))
+		}
+	})
+}

@@ -1,0 +1,223 @@
+package tcpmpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSelfSendDoesNotAliasPayload: a self-delivered message must survive
+// the caller mutating its buffer after Send returns.
+func TestSelfSendDoesNotAliasPayload(t *testing.T) {
+	c, err := Dial(0, []string{"unused"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	buf := []byte("original")
+	if err := c.Send(0, 3, buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "CLOBBERED")
+	got, err := c.Recv(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "original" {
+		t.Fatalf("self-send aliased the caller's buffer: got %q", got)
+	}
+}
+
+// TestRecvTimeout: with a per-operation deadline configured, a Recv for a
+// message that never comes returns a timeout error instead of blocking
+// forever, even while the peer is alive and heartbeating.
+func TestRecvTimeout(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	opt := Options{Timeout: 250 * time.Millisecond}
+	var wg sync.WaitGroup
+	var recvErr error
+	stop := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c, err := DialOptions(0, addrs, opt)
+		if err != nil {
+			recvErr = err
+			return
+		}
+		defer c.Close()
+		start := time.Now()
+		_, recvErr = c.Recv(1, 99)
+		if recvErr != nil && time.Since(start) > 5*time.Second {
+			recvErr = nil // an error that slow is a hang, not a deadline
+		}
+		close(stop)
+	}()
+	go func() {
+		defer wg.Done()
+		c, err := DialOptions(1, addrs, opt)
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		<-stop
+	}()
+	wg.Wait()
+	if recvErr == nil || !strings.Contains(recvErr.Error(), "timeout") {
+		t.Fatalf("want timeout error, got %v", recvErr)
+	}
+}
+
+// TestDialRejectsSilentClient: a client that connects to the mesh listener
+// but never sends its rank hello must not wedge world setup — the
+// handshake read deadline (bounded by DialTimeout) discards it and Dial
+// fails within the dial timeout instead of hanging forever.
+func TestDialRejectsSilentClient(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	done := make(chan error, 1)
+	go func() {
+		c, err := DialOptions(0, addrs, Options{DialTimeout: 400 * time.Millisecond})
+		if err == nil {
+			c.Close()
+		}
+		done <- err
+	}()
+	// Give rank 0 a moment to listen, then connect without a hello.
+	var rogue net.Conn
+	for i := 0; i < 100; i++ {
+		var err error
+		if rogue, err = net.Dial("tcp", addrs[0]); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if rogue != nil {
+		defer rogue.Close()
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Dial succeeded without rank 1 ever saying hello")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Dial hung on a client that never completed the handshake")
+	}
+}
+
+// TestSilentPeerDetected: a peer that completes the handshake and then
+// goes silent (wedged, not closed) is detected by the missing heartbeats
+// within the configured bound, and pending receives fail instead of
+// blocking forever.
+func TestSilentPeerDetected(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	opt := Options{
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  250 * time.Millisecond,
+	}
+	done := make(chan error, 1)
+	go func() {
+		c, err := DialOptions(0, addrs, opt)
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		_, err = c.Recv(1, 7)
+		done <- err
+	}()
+	// Fake rank 1: hello, then total silence with the connection held open.
+	var conn net.Conn
+	for i := 0; i < 200; i++ {
+		var err error
+		if conn, err = net.Dial("tcp", addrs[0]); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if conn == nil {
+		t.Fatal("could not reach rank 0's listener")
+	}
+	defer conn.Close()
+	var hello [4]byte
+	binary.LittleEndian.PutUint32(hello[:], 1)
+	if _, err := conn.Write(hello[:]); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Recv succeeded with no message")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("silent peer never detected")
+	}
+}
+
+// TestSendSurvivesReconnect: severing the underlying connection mid-world
+// must not lose the rank — the dialer side re-dials once, sends retry with
+// backoff across the gap, and traffic resumes.
+func TestSendSurvivesReconnect(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	opt := Options{
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  500 * time.Millisecond,
+		Retries:           8,
+		RetryBackoff:      20 * time.Millisecond,
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	comms := make([]*Comm, 2)
+	ready := make(chan struct{}, 2)
+	start := make(chan struct{})
+	wg.Add(2)
+	for r := 0; r < 2; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			c, err := DialOptions(rank, addrs, opt)
+			if err != nil {
+				errs[rank] = err
+				ready <- struct{}{}
+				return
+			}
+			comms[rank] = c
+			defer c.Close()
+			ready <- struct{}{}
+			<-start
+			if rank == 1 {
+				errs[rank] = c.Send(0, 42, []byte("after the storm"))
+				return
+			}
+			got, err := c.Recv(1, 42)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			if string(got) != "after the storm" {
+				errs[rank] = fmt.Errorf("got %q", got)
+			}
+		}(r)
+	}
+	<-ready
+	<-ready
+	if comms[1] != nil {
+		// Sever rank 1's connection to rank 0 out from under it. Rank 1
+		// originally dialed, so it owns the reconnect attempt.
+		p := comms[1].peers[0]
+		p.mu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
+		}
+		p.mu.Unlock()
+	}
+	close(start)
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}

@@ -8,11 +8,23 @@
 //
 // Wire protocol per frame (little endian):
 //
-//	int32 tag | uint32 len | len bytes payload
+//	int32 tag | uint32 seq | uint32 len | len bytes payload
+//
+// seq is a per-direction data-frame counter (1, 2, …) that survives
+// reconnects, letting the receiver drop frames replayed by a send retry.
+// seq 0 marks control frames (heartbeats), which are never deduplicated.
 //
 // Connection setup: rank i listens on addrs[i]; every pair (i < j) shares
 // one connection dialed by j, which introduces itself with a 4-byte rank
 // header.
+//
+// Fault tolerance: every connection carries periodic heartbeat frames, so
+// a silently dead peer is detected within a bounded interval
+// (Options.HeartbeatTimeout). A broken connection gets one reconnect
+// attempt — the original dialer (higher rank) re-dials, the listener side
+// waits for the replacement — before the peer is declared dead; sends are
+// retried with exponential backoff across the reconnect, and per-operation
+// deadlines (Options.Timeout) bound how long Send/Recv can block.
 package tcpmpi
 
 import (
@@ -26,17 +38,130 @@ import (
 	"time"
 )
 
+// DialTimeout is the default bound on connection establishment
+// (Options.DialTimeout overrides it).
+const DialTimeout = 30 * time.Second
+
+// maxFrame bounds a frame payload; larger length fields mean a corrupt or
+// hostile stream.
+const maxFrame = 1 << 30
+
+// frameHeaderLen is tag (4) + seq (4) + len (4).
+const frameHeaderLen = 12
+
+// hbTag marks heartbeat frames; it lives outside the int32 range user and
+// collective tags occupy (they are non-negative).
+const hbTag = math.MinInt32
+
+// Options tunes the failure-handling behaviour of a Comm. The zero value
+// gives 30s dial timeout, 2s heartbeats with 8s silence threshold, two
+// send retries starting at 50ms backoff, and unbounded Recv.
+type Options struct {
+	// Timeout bounds each Send and Recv call (and, through them, each
+	// collective hop). 0 means sends fall back to HeartbeatTimeout for
+	// their write deadline and receives block until the peer is declared
+	// dead or the Comm is closed.
+	Timeout time.Duration
+
+	// DialTimeout bounds mesh establishment, including the hello
+	// handshake read on accepted connections. 0 means 30s.
+	DialTimeout time.Duration
+
+	// HeartbeatInterval is the keepalive period per connection. 0 means
+	// 2s; negative disables heartbeats (and silent-peer detection).
+	HeartbeatInterval time.Duration
+
+	// HeartbeatTimeout is how long a peer may stay silent before it is
+	// presumed dead and recovery starts. 0 means 4× the interval. It
+	// also bounds how long the listener side waits for a reconnect.
+	HeartbeatTimeout time.Duration
+
+	// Retries is how many times a failed send is retried (across a
+	// reconnect) before the error is returned. 0 means 2; negative
+	// disables retries.
+	Retries int
+
+	// RetryBackoff is the initial retry delay, doubled per attempt.
+	// 0 means 50ms.
+	RetryBackoff time.Duration
+
+	// DisableReconnect declares a rank dead on the first connection
+	// failure instead of allowing the single reconnect attempt.
+	DisableReconnect bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = DialTimeout
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = 2 * time.Second
+	}
+	if o.HeartbeatTimeout <= 0 {
+		if o.HeartbeatInterval > 0 {
+			o.HeartbeatTimeout = 4 * o.HeartbeatInterval
+		} else {
+			o.HeartbeatTimeout = 8 * time.Second
+		}
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	return o
+}
+
+// writeDeadline returns the deadline for one frame write (zero time = none).
+func (o Options) writeDeadline() time.Duration {
+	if o.Timeout > 0 {
+		return o.Timeout
+	}
+	if o.HeartbeatInterval > 0 {
+		return o.HeartbeatTimeout
+	}
+	return 0
+}
+
+// peer is the connection state for one remote rank.
+type peer struct {
+	mu       sync.Mutex
+	conn     net.Conn // nil until connected
+	gen      int      // bumped on every (re)connection
+	broken   bool     // current conn failed; recovery pending or done
+	lastSeen time.Time
+	recvSeq  uint32 // highest data seq received (dedup across reconnects)
+
+	sendMu  sync.Mutex // serializes whole send operations, incl. retries
+	sendSeq uint32     // data frames sent (guarded by sendMu)
+}
+
+func (p *peer) touch() {
+	p.mu.Lock()
+	p.lastSeen = time.Now()
+	p.mu.Unlock()
+}
+
 // Comm is one process's endpoint in a TCP world.
 type Comm struct {
 	rank, size int
-	conns      []net.Conn // conns[r] is the link to rank r (nil for self)
-	writeMu    []sync.Mutex
+	addrs      []string
+	opt        Options
+	peers      []*peer
+	ln         net.Listener // nil for size-1 worlds
 
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queues map[int][]message // per-source unexpected-message queues
 	dead   map[int]error     // per-source connection failures
 	closed error
+
+	done     chan struct{} // closed by Close; stops background goroutines
+	doneOnce sync.Once
 
 	collSeq int
 }
@@ -46,26 +171,33 @@ type message struct {
 	data []byte
 }
 
-// DialTimeout bounds connection establishment.
-const DialTimeout = 30 * time.Second
-
-// Dial joins the world: rank r listens on addrs[r], accepts connections
-// from higher ranks and dials lower ranks. It blocks until the full mesh is
-// up or the timeout expires.
+// Dial joins the world with default options. See DialOptions.
 func Dial(rank int, addrs []string) (*Comm, error) {
+	return DialOptions(rank, addrs, Options{})
+}
+
+// DialOptions joins the world: rank r listens on addrs[r], accepts
+// connections from higher ranks and dials lower ranks. It blocks until the
+// full mesh is up or the dial timeout expires.
+func DialOptions(rank int, addrs []string, opt Options) (*Comm, error) {
 	size := len(addrs)
 	if rank < 0 || rank >= size {
 		return nil, fmt.Errorf("tcpmpi: rank %d outside [0,%d)", rank, size)
 	}
 	c := &Comm{
-		rank:    rank,
-		size:    size,
-		conns:   make([]net.Conn, size),
-		writeMu: make([]sync.Mutex, size),
-		queues:  map[int][]message{},
-		dead:    map[int]error{},
+		rank:   rank,
+		size:   size,
+		addrs:  append([]string(nil), addrs...),
+		opt:    opt.withDefaults(),
+		peers:  make([]*peer, size),
+		queues: map[int][]message{},
+		dead:   map[int]error{},
+		done:   make(chan struct{}),
 	}
 	c.cond = sync.NewCond(&c.mu)
+	for r := range c.peers {
+		c.peers[r] = &peer{}
+	}
 	if size == 1 {
 		return c, nil
 	}
@@ -74,62 +206,22 @@ func Dial(rank int, addrs []string) (*Comm, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tcpmpi: rank %d listen %s: %w", rank, addrs[rank], err)
 	}
-	defer ln.Close()
-
-	var wg sync.WaitGroup
-	errCh := make(chan error, size)
-
-	// Accept from every higher rank.
-	expect := size - 1 - rank
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for i := 0; i < expect; i++ {
-			conn, err := ln.Accept()
-			if err != nil {
-				errCh <- err
-				return
-			}
-			var hdr [4]byte
-			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-				errCh <- err
-				return
-			}
-			src := int(binary.LittleEndian.Uint32(hdr[:]))
-			if src <= rank || src >= size {
-				errCh <- fmt.Errorf("tcpmpi: bogus hello from rank %d", src)
-				return
-			}
-			c.conns[src] = conn
-		}
-	}()
+	c.ln = ln
+	go c.acceptLoop(ln)
 
 	// Dial every lower rank.
+	var wg sync.WaitGroup
+	errCh := make(chan error, size)
 	for dst := 0; dst < rank; dst++ {
 		wg.Add(1)
 		go func(dst int) {
 			defer wg.Done()
-			deadline := time.Now().Add(DialTimeout)
-			var conn net.Conn
-			var err error
-			for {
-				conn, err = net.DialTimeout("tcp", addrs[dst], time.Second)
-				if err == nil || time.Now().After(deadline) {
-					break
-				}
-				time.Sleep(50 * time.Millisecond)
-			}
+			conn, err := c.dialPeer(dst)
 			if err != nil {
-				errCh <- fmt.Errorf("tcpmpi: dial rank %d at %s: %w", dst, addrs[dst], err)
-				return
-			}
-			var hdr [4]byte
-			binary.LittleEndian.PutUint32(hdr[:], uint32(rank))
-			if _, err := conn.Write(hdr[:]); err != nil {
 				errCh <- err
 				return
 			}
-			c.conns[dst] = conn
+			c.installConn(dst, conn)
 		}(dst)
 	}
 	wg.Wait()
@@ -139,14 +231,120 @@ func Dial(rank int, addrs []string) (*Comm, error) {
 		return nil, err
 	default:
 	}
-	// One reader goroutine per peer.
-	for r, conn := range c.conns {
-		if conn == nil {
-			continue
+
+	// Wait for every higher rank's hello, delivered by the accept loop.
+	deadline := time.Now().Add(c.opt.DialTimeout)
+	for {
+		missing := -1
+		for r := rank + 1; r < size; r++ {
+			c.peers[r].mu.Lock()
+			up := c.peers[r].conn != nil
+			c.peers[r].mu.Unlock()
+			if !up {
+				missing = r
+				break
+			}
 		}
-		go c.readLoop(r, conn)
+		if missing < 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			c.Close()
+			return nil, fmt.Errorf("tcpmpi: rank %d: timed out waiting for hello from rank %d", rank, missing)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if c.opt.HeartbeatInterval > 0 {
+		go c.heartbeatLoop()
 	}
 	return c, nil
+}
+
+// dialPeer establishes (or re-establishes) the connection to a lower rank
+// and performs the hello handshake.
+func (c *Comm) dialPeer(dst int) (net.Conn, error) {
+	deadline := time.Now().Add(c.opt.DialTimeout)
+	var conn net.Conn
+	var err error
+	for {
+		conn, err = net.DialTimeout("tcp", c.addrs[dst], time.Second)
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		select {
+		case <-c.done:
+			return nil, errors.New("tcpmpi: closed during dial")
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tcpmpi: dial rank %d at %s: %w", dst, c.addrs[dst], err)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(c.rank))
+	conn.SetWriteDeadline(time.Now().Add(c.opt.DialTimeout))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("tcpmpi: hello to rank %d: %w", dst, err)
+	}
+	conn.SetWriteDeadline(time.Time{})
+	return conn, nil
+}
+
+// acceptLoop runs for the life of the Comm: it accepts initial connections
+// from higher ranks during setup and replacement connections after a
+// failure. A client that connects but never sends its hello is discarded
+// when the handshake read deadline (bounded by DialTimeout) expires, so it
+// cannot stall world startup.
+func (c *Comm) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-c.done:
+				return
+			default:
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		go func(conn net.Conn) {
+			var hdr [4]byte
+			conn.SetReadDeadline(time.Now().Add(c.opt.DialTimeout))
+			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+				conn.Close() // silent or half-open client: drop it
+				return
+			}
+			conn.SetReadDeadline(time.Time{})
+			src := int(binary.LittleEndian.Uint32(hdr[:]))
+			if src <= c.rank || src >= c.size {
+				conn.Close() // bogus hello
+				return
+			}
+			c.installConn(src, conn)
+		}(conn)
+	}
+}
+
+// installConn swaps in a fresh connection for src (initial setup or
+// reconnect) and starts its reader.
+func (c *Comm) installConn(src int, conn net.Conn) {
+	p := c.peers[src]
+	p.mu.Lock()
+	if old := p.conn; old != nil {
+		old.Close()
+	}
+	p.conn = conn
+	p.gen++
+	p.broken = false
+	p.lastSeen = time.Now()
+	gen := p.gen
+	p.mu.Unlock()
+	go c.readLoop(src, conn, gen)
 }
 
 // Rank returns this process's rank.
@@ -162,32 +360,87 @@ func (c *Comm) Close() error {
 		c.closed = errors.New("tcpmpi: closed")
 	}
 	c.mu.Unlock()
+	c.doneOnce.Do(func() { close(c.done) })
 	c.cond.Broadcast()
-	for _, conn := range c.conns {
-		if conn != nil {
-			conn.Close()
+	if c.ln != nil {
+		c.ln.Close()
+	}
+	for _, p := range c.peers {
+		p.mu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
 		}
+		p.mu.Unlock()
 	}
 	return nil
 }
 
-func (c *Comm) readLoop(src int, conn net.Conn) {
+func (c *Comm) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed != nil
+}
+
+// parseFrameHeader decodes one 12-byte frame header, rejecting oversized
+// payload lengths.
+func parseFrameHeader(hdr []byte) (tag int, seq uint32, n uint32, err error) {
+	if len(hdr) < frameHeaderLen {
+		return 0, 0, 0, fmt.Errorf("tcpmpi: short frame header (%d bytes)", len(hdr))
+	}
+	tag = int(int32(binary.LittleEndian.Uint32(hdr[:4])))
+	seq = binary.LittleEndian.Uint32(hdr[4:8])
+	n = binary.LittleEndian.Uint32(hdr[8:12])
+	if n > maxFrame {
+		return 0, 0, 0, fmt.Errorf("tcpmpi: oversized frame (%d bytes)", n)
+	}
+	return tag, seq, n, nil
+}
+
+// putFrameHeader encodes a frame header into hdr (len ≥ frameHeaderLen).
+func putFrameHeader(hdr []byte, tag int, seq uint32, n int) {
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(int32(tag)))
+	binary.LittleEndian.PutUint32(hdr[4:8], seq)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(n))
+}
+
+// readFrame reads one complete frame from r.
+func readFrame(r io.Reader) (tag int, seq uint32, payload []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	var n uint32
+	if tag, seq, n, err = parseFrameHeader(hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	return tag, seq, payload, nil
+}
+
+func (c *Comm) readLoop(src int, conn net.Conn, gen int) {
+	p := c.peers[src]
 	for {
-		var hdr [8]byte
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-			c.fail(src, fmt.Errorf("tcpmpi: read from rank %d: %w", src, err))
+		tag, seq, data, err := readFrame(conn)
+		if err != nil {
+			c.peerBroken(src, gen, fmt.Errorf("tcpmpi: read from rank %d: %w", src, err))
 			return
 		}
-		tag := int(int32(binary.LittleEndian.Uint32(hdr[:4])))
-		n := binary.LittleEndian.Uint32(hdr[4:])
-		if n > 1<<30 {
-			c.fail(src, fmt.Errorf("tcpmpi: oversized frame from rank %d (%d bytes)", src, n))
-			return
+		p.touch()
+		if tag == hbTag {
+			continue
 		}
-		data := make([]byte, n)
-		if _, err := io.ReadFull(conn, data); err != nil {
-			c.fail(src, fmt.Errorf("tcpmpi: read body from rank %d: %w", src, err))
-			return
+		if seq != 0 {
+			// Drop frames replayed by a send retry across a reconnect.
+			p.mu.Lock()
+			if seq <= p.recvSeq {
+				p.mu.Unlock()
+				continue
+			}
+			p.recvSeq = seq
+			p.mu.Unlock()
 		}
 		c.mu.Lock()
 		c.queues[src] = append(c.queues[src], message{tag: tag, data: data})
@@ -196,7 +449,126 @@ func (c *Comm) readLoop(src int, conn net.Conn) {
 	}
 }
 
-// fail marks the connection to src as dead: only receives that depend on
+// peerBroken handles a failed connection to src: at most one caller per
+// generation proceeds; it closes the connection and attempts the single
+// allowed recovery (re-dial for lower ranks, wait-for-replacement for
+// higher ranks) before declaring the rank dead.
+func (c *Comm) peerBroken(src, gen int, cause error) {
+	if c.isClosed() {
+		return
+	}
+	p := c.peers[src]
+	p.mu.Lock()
+	if p.gen != gen || p.broken {
+		p.mu.Unlock()
+		return
+	}
+	p.broken = true
+	if p.conn != nil {
+		p.conn.Close()
+	}
+	p.mu.Unlock()
+
+	go c.recoverPeer(src, gen, cause)
+}
+
+func (c *Comm) recoverPeer(src, gen int, cause error) {
+	if c.opt.DisableReconnect {
+		c.fail(src, cause)
+		return
+	}
+	if src < c.rank {
+		// We dialed this peer originally: one reconnect attempt.
+		conn, err := c.dialPeer(src)
+		if err != nil {
+			c.fail(src, fmt.Errorf("tcpmpi: rank %d dead (reconnect failed: %v): %w", src, err, cause))
+			return
+		}
+		p := c.peers[src]
+		p.mu.Lock()
+		stale := p.gen != gen
+		p.mu.Unlock()
+		if stale {
+			conn.Close() // someone else already recovered
+			return
+		}
+		c.installConn(src, conn)
+		return
+	}
+	// The peer dialed us: wait for it to re-dial within the detection
+	// bound, then give up.
+	deadline := time.Now().Add(c.opt.HeartbeatTimeout)
+	for time.Now().Before(deadline) {
+		select {
+		case <-c.done:
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+		p := c.peers[src]
+		p.mu.Lock()
+		recovered := p.gen > gen && !p.broken
+		p.mu.Unlock()
+		if recovered {
+			return
+		}
+	}
+	c.fail(src, fmt.Errorf("tcpmpi: rank %d dead (no reconnect within %v): %w", src, c.opt.HeartbeatTimeout, cause))
+}
+
+// heartbeatLoop sends keepalives on every connection and declares peers
+// that have been silent past the threshold broken, so a wedged (but not
+// closed) peer is detected within a bounded interval.
+func (c *Comm) heartbeatLoop() {
+	ticker := time.NewTicker(c.opt.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-ticker.C:
+		}
+		for r := 0; r < c.size; r++ {
+			if r == c.rank {
+				continue
+			}
+			if c.isDead(r) {
+				continue
+			}
+			p := c.peers[r]
+			p.mu.Lock()
+			conn, gen, broken, last := p.conn, p.gen, p.broken, p.lastSeen
+			p.mu.Unlock()
+			if conn == nil || broken {
+				continue
+			}
+			if time.Since(last) > c.opt.HeartbeatTimeout {
+				c.peerBroken(r, gen, fmt.Errorf("tcpmpi: rank %d silent for %v", r, c.opt.HeartbeatTimeout))
+				continue
+			}
+			c.writeFrame(p, conn, hbTag, 0, nil)
+			// Write errors surface through the reader of the same
+			// connection or the silence threshold; nothing to do here.
+		}
+	}
+}
+
+// writeFrame writes one frame (header + payload) under the peer's send
+// lock with the configured write deadline.
+func (c *Comm) writeFrame(p *peer, conn net.Conn, tag int, seq uint32, data []byte) error {
+	buf := make([]byte, frameHeaderLen+len(data))
+	putFrameHeader(buf, tag, seq, len(data))
+	copy(buf[frameHeaderLen:], data)
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	if d := c.opt.writeDeadline(); d > 0 {
+		conn.SetWriteDeadline(time.Now().Add(d))
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	_, err := conn.Write(buf)
+	return err
+}
+
+// fail marks the connection to src as dead: only operations that depend on
 // src report the error, so a peer that finishes and exits early does not
 // poison unrelated traffic.
 func (c *Comm) fail(src int, err error) {
@@ -208,33 +580,86 @@ func (c *Comm) fail(src int, err error) {
 	c.cond.Broadcast()
 }
 
-// Send transmits data to rank dst with the given tag.
+func (c *Comm) isDead(src int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.dead[src]
+	return ok
+}
+
+func (c *Comm) deadErr(src int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead[src]
+}
+
+// Send transmits data to rank dst with the given tag. Transient connection
+// failures are retried with exponential backoff across the reconnect
+// attempt; the frame sequence number lets the receiver discard replays, so
+// a retried send is delivered at most once.
 func (c *Comm) Send(dst, tag int, data []byte) error {
+	if dst < 0 || dst >= c.size {
+		return fmt.Errorf("tcpmpi: send to invalid rank %d", dst)
+	}
 	if dst == c.rank {
+		// Copy: the caller may mutate data after Send returns, and the
+		// queued message must not alias it.
 		c.mu.Lock()
-		c.queues[dst] = append(c.queues[dst], message{tag: tag, data: data})
+		c.queues[dst] = append(c.queues[dst], message{tag: tag, data: append([]byte(nil), data...)})
 		c.mu.Unlock()
 		c.cond.Broadcast()
 		return nil
 	}
-	conn := c.conns[dst]
-	if conn == nil {
-		return fmt.Errorf("tcpmpi: no connection to rank %d", dst)
+	p := c.peers[dst]
+	p.sendMu.Lock()
+	p.sendSeq++
+	seq := p.sendSeq
+	p.sendMu.Unlock()
+
+	backoff := c.opt.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
+		if err := c.deadErr(dst); err != nil {
+			return err
+		}
+		if c.isClosed() {
+			return errors.New("tcpmpi: closed")
+		}
+		p.mu.Lock()
+		conn, broken := p.conn, p.broken
+		gen := p.gen
+		p.mu.Unlock()
+		if conn == nil || broken {
+			lastErr = fmt.Errorf("tcpmpi: no connection to rank %d", dst)
+		} else if err := c.writeFrame(p, conn, tag, seq, data); err != nil {
+			lastErr = err
+			c.peerBroken(dst, gen, fmt.Errorf("tcpmpi: write to rank %d: %w", dst, err))
+		} else {
+			return nil
+		}
+		if attempt == c.opt.Retries {
+			break
+		}
+		select {
+		case <-c.done:
+			return errors.New("tcpmpi: closed")
+		case <-time.After(backoff):
+		}
+		backoff *= 2
 	}
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(int32(tag)))
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(data)))
-	c.writeMu[dst].Lock()
-	defer c.writeMu[dst].Unlock()
-	if _, err := conn.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := conn.Write(data)
-	return err
+	return lastErr
 }
 
-// Recv blocks until a message with the given tag arrives from src.
+// Recv blocks until a message with the given tag arrives from src, src is
+// declared dead, the Comm closes, or the per-operation deadline
+// (Options.Timeout) expires.
 func (c *Comm) Recv(src, tag int) ([]byte, error) {
+	var deadline time.Time
+	if c.opt.Timeout > 0 {
+		deadline = time.Now().Add(c.opt.Timeout)
+		timer := time.AfterFunc(c.opt.Timeout, c.cond.Broadcast)
+		defer timer.Stop()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for {
@@ -251,6 +676,9 @@ func (c *Comm) Recv(src, tag int) ([]byte, error) {
 		}
 		if c.closed != nil {
 			return nil, c.closed
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("tcpmpi: recv from rank %d tag %d: timeout after %v", src, tag, c.opt.Timeout)
 		}
 		c.cond.Wait()
 	}

@@ -5,6 +5,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 )
 
 // freeAddrs reserves n distinct localhost ports and returns their
@@ -163,12 +164,13 @@ func TestBarrier(t *testing.T) {
 
 func TestPeerDisconnectFailsReceivers(t *testing.T) {
 	addrs := freeAddrs(t, 2)
+	opt := Options{HeartbeatInterval: 50 * time.Millisecond, HeartbeatTimeout: 250 * time.Millisecond}
 	var wg sync.WaitGroup
 	var recvErr error
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		c, err := Dial(0, addrs)
+		c, err := DialOptions(0, addrs, opt)
 		if err != nil {
 			recvErr = err
 			return
@@ -179,7 +181,7 @@ func TestPeerDisconnectFailsReceivers(t *testing.T) {
 	}()
 	go func() {
 		defer wg.Done()
-		c, err := Dial(1, addrs)
+		c, err := DialOptions(1, addrs, opt)
 		if err != nil {
 			return
 		}

@@ -24,6 +24,10 @@ type Stats struct {
 	// happens-before edge for readers.
 	compSec []float64
 	commSec []float64
+
+	// lost marks ranks that failed (crashed or errored) during the run —
+	// the shards a degraded-mode completion proceeds without.
+	lost []atomic.Bool
 }
 
 // NewStats creates statistics storage for p ranks.
@@ -34,6 +38,7 @@ func NewStats(p int) *Stats {
 		ops:     make([]atomic.Int64, p*p),
 		compSec: make([]float64, p),
 		commSec: make([]float64, p),
+		lost:    make([]atomic.Bool, p),
 	}
 }
 
@@ -50,6 +55,31 @@ func (s *Stats) RecordSend(src, dst, n int) {
 	}
 	s.bytes[src*s.p+dst].Add(int64(n))
 	s.ops[src*s.p+dst].Add(1)
+}
+
+// RecordLost marks rank as failed during the run. Degraded-mode training
+// reads it back through LostRanks to report which shards were lost.
+func (s *Stats) RecordLost(rank int) {
+	if rank >= 0 && rank < s.p {
+		s.lost[rank].Store(true)
+	}
+}
+
+// LostRanks returns the sorted list of ranks recorded as failed (empty for
+// a clean run).
+func (s *Stats) LostRanks() []int {
+	var out []int
+	for r := range s.lost {
+		if s.lost[r].Load() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Lost reports whether rank was recorded as failed.
+func (s *Stats) Lost(rank int) bool {
+	return rank >= 0 && rank < s.p && s.lost[rank].Load()
 }
 
 // AddComp charges sec seconds of computation virtual time to rank.
