@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check fuzz
+.PHONY: build test race vet check fuzz bench
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,14 @@ race:
 # the race detector (the concurrency-heavy packages — mpi, tcpmpi, faults,
 # core — are exactly where races would hide).
 check: vet race
+
+# bench runs the SMO hot-path benchmark suite at 1 and 4 threads and
+# records ns/op + allocs/op in BENCH_smo.json (via cmd/benchjson).
+bench:
+	$(GO) test ./internal/smo ./internal/kernel ./internal/la \
+		-run '^$$' -bench 'BenchmarkSolve$$|UpdateScanFused|RowCache|BenchmarkDot' \
+		-benchmem -cpu 1,4 | $(GO) run ./cmd/benchjson > BENCH_smo.json
+	@echo wrote BENCH_smo.json
 
 # Short fuzz sweep over every fuzz target (parsers and the wire-frame
 # decoder); the seed corpora also run in plain `make test`.

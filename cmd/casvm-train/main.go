@@ -27,6 +27,7 @@ func main() {
 		gamma   = flag.Float64("gamma", 0, "RBF gamma (0 = per-dataset heuristic)")
 		tol     = flag.Float64("tol", 1e-3, "KKT tolerance")
 		ratio   = flag.Bool("ratio-balance", true, "pos/neg ratio balancing (FCFS/BKM-CA)")
+		threads = flag.Int("threads", 0, "per-rank solver threads (0/1 = serial; results are identical for any value)")
 		modelP  = flag.String("model", "casvm.model", "output model path")
 		list    = flag.Bool("list", false, "list datasets and methods, then exit")
 	)
@@ -75,6 +76,7 @@ func main() {
 	params.Tol = *tol
 	params.Kernel = casvm.RBF(g)
 	params.RatioBalanced = *ratio
+	params.Threads = *threads
 
 	out, acc, err := casvm.TrainDataset(ds, params)
 	if err != nil {

@@ -85,6 +85,13 @@ type Params struct {
 	// 0 means 1.
 	PosWeight float64
 
+	// Threads sets the shared-memory parallelism of each rank's local SMO
+	// solver (kernel-row fills and the fused scan/update passes fan out
+	// across a persistent worker pool). 0 or 1 means serial. Results are
+	// bit-identical for every setting, and virtual-time flop accounting is
+	// unaffected — Threads changes wall-clock only.
+	Threads int
+
 	Machine perfmodel.Machine
 	Seed    int64
 
@@ -173,7 +180,7 @@ func (p Params) validate(m int) error {
 
 func (p Params) solverConfig() smo.Config {
 	return smo.Config{C: p.C, Tol: p.Tol, MaxIter: p.MaxIter, Kernel: p.Kernel,
-		PosWeight: p.PosWeight}
+		PosWeight: p.PosWeight, Threads: p.Threads}
 }
 
 // solverConfigAt is solverConfig plus the rank's fault-injection interrupt

@@ -1,8 +1,6 @@
 package kernel
 
 import (
-	"container/list"
-
 	"casvm/internal/la"
 )
 
@@ -12,15 +10,35 @@ import (
 // cache eliminates most kernel-row recomputation — the same optimisation
 // LIBSVM and the paper's shared-memory SMO rely on.
 //
+// The cache is allocation-free after construction: all cached rows live in
+// one flat preallocated block, the LRU order is an intrusive doubly-linked
+// list over slot numbers backed by two int32 slices, and the row→slot map
+// is a direct-indexed slice. A hit is two array reads and four link writes;
+// a miss recomputes one row in place — no container/list element boxing, no
+// per-miss make, nothing for the garbage collector to trace.
+//
 // RowCache is not safe for concurrent use; each solver owns one.
 type RowCache struct {
 	params Params
 	data   *la.Matrix
 
-	capacity int                   // max rows kept
-	rows     map[int]*list.Element // index -> LRU entry
-	lru      *list.List            // front = most recent; values are *cacheEntry
-	threads  int                   // intra-node workers for row fills
+	capacity int // max rows kept
+	m        int // row length = data.Rows()
+	threads  int // intra-node workers for row fills
+
+	slotOf []int32   // sample index -> slot, or -1
+	rowOf  []int32   // slot -> sample index, or -1 while unused
+	next   []int32   // slot -> next (toward LRU), -1 at tail
+	prev   []int32   // slot -> prev (toward MRU), -1 at head
+	head   int32     // most recently used slot, -1 when empty
+	tail   int32     // least recently used slot, -1 when empty
+	used   int       // slots filled so far (grows to capacity, never shrinks)
+	block  []float64 // slot s holds its row at block[s*m : (s+1)*m]
+
+	// diag lazily caches the kernel diagonal for non-Gaussian kernels, so
+	// per-iteration Diag lookups and the WSS2 scan cost O(1) per sample
+	// after the first fill. (Gaussian diagonals are exactly 1.)
+	diag []float64
 
 	// Stats.
 	hits, misses int64
@@ -31,60 +49,118 @@ type RowCache struct {
 // (kernel.RowParallel). 0 or 1 keeps the serial path.
 func (c *RowCache) SetThreads(t int) { c.threads = t }
 
-type cacheEntry struct {
-	index int
-	row   []float64
-}
-
 // NewRowCache creates a cache over the given matrix holding at most
 // capacity rows (minimum 2, since SMO needs the high and low rows live at
-// once).
+// once). The whole block is allocated up front; untouched pages cost only
+// virtual address space.
 func NewRowCache(p Params, data *la.Matrix, capacity int) *RowCache {
 	if capacity < 2 {
 		capacity = 2
 	}
-	return &RowCache{
+	m := data.Rows()
+	if capacity > m && m >= 2 {
+		capacity = m
+	}
+	c := &RowCache{
 		params:   p,
 		data:     data,
 		capacity: capacity,
-		rows:     make(map[int]*list.Element, capacity),
-		lru:      list.New(),
+		m:        m,
+		slotOf:   make([]int32, m),
+		rowOf:    make([]int32, capacity),
+		next:     make([]int32, capacity),
+		prev:     make([]int32, capacity),
+		head:     -1,
+		tail:     -1,
+		block:    make([]float64, capacity*m),
+	}
+	for i := range c.slotOf {
+		c.slotOf[i] = -1
+	}
+	for s := range c.rowOf {
+		c.rowOf[s] = -1
+	}
+	return c
+}
+
+// unlink detaches slot s from the LRU list.
+func (c *RowCache) unlink(s int32) {
+	p, n := c.prev[s], c.next[s]
+	if p >= 0 {
+		c.next[p] = n
+	} else {
+		c.head = n
+	}
+	if n >= 0 {
+		c.prev[n] = p
+	} else {
+		c.tail = p
+	}
+}
+
+// pushFront makes slot s the most recently used.
+func (c *RowCache) pushFront(s int32) {
+	c.prev[s] = -1
+	c.next[s] = c.head
+	if c.head >= 0 {
+		c.prev[c.head] = s
+	}
+	c.head = s
+	if c.tail < 0 {
+		c.tail = s
 	}
 }
 
 // Row returns the kernel row K(i, ·) of length data.Rows(). The returned
-// slice is owned by the cache and must not be modified or retained across
-// further Row calls.
+// slice is owned by the cache and must not be modified; it stays valid
+// until its entry is evicted (SMO's two live rows per iteration are safe
+// for any capacity ≥ 2).
 func (c *RowCache) Row(i int) []float64 {
-	if el, ok := c.rows[i]; ok {
-		c.lru.MoveToFront(el)
+	if s := c.slotOf[i]; s >= 0 {
 		c.hits++
-		return el.Value.(*cacheEntry).row
+		if c.head != s {
+			c.unlink(s)
+			c.pushFront(s)
+		}
+		return c.block[int(s)*c.m : int(s)*c.m+c.m]
 	}
 	c.misses++
-	var entry *cacheEntry
-	if c.lru.Len() >= c.capacity {
-		// Evict the least recently used entry, reusing its buffer.
-		el := c.lru.Back()
-		entry = el.Value.(*cacheEntry)
-		delete(c.rows, entry.index)
-		c.lru.Remove(el)
+	var s int32
+	if c.used < c.capacity {
+		s = int32(c.used)
+		c.used++
 	} else {
-		entry = &cacheEntry{row: make([]float64, c.data.Rows())}
+		// Evict the least recently used entry, reusing its slot in place.
+		s = c.tail
+		c.slotOf[c.rowOf[s]] = -1
+		c.unlink(s)
 	}
-	entry.index = i
-	c.flops += c.params.RowParallel(c.data, i, entry.row, c.threads)
-	c.rows[i] = c.lru.PushFront(entry)
-	return entry.row
+	c.rowOf[s] = int32(i)
+	c.slotOf[i] = s
+	row := c.block[int(s)*c.m : int(s)*c.m+c.m]
+	c.flops += c.params.RowParallel(c.data, i, row, c.threads)
+	c.pushFront(s)
+	return row
 }
 
-// Diag returns the kernel diagonal K(i,i) without touching the cache; for
-// the Gaussian kernel this is exactly 1.
+// Diag returns the kernel diagonal K(i,i) without touching the row cache;
+// for the Gaussian kernel this is exactly 1. Non-Gaussian diagonals are
+// computed once for every sample on first use and then served from the
+// cache — the WSS2 second-order scan reads m of them per iteration.
+// Diagonal evaluations are deliberately not charged to the flop counter,
+// matching the per-call evaluation they replace.
 func (c *RowCache) Diag(i int) float64 {
 	if c.params.Kind == Gaussian {
 		return 1
 	}
-	return c.params.Eval(c.data, i, c.data, i)
+	if c.diag == nil {
+		d := make([]float64, c.m)
+		for j := 0; j < c.m; j++ {
+			d[j] = c.params.Eval(c.data, j, c.data, j)
+		}
+		c.diag = d
+	}
+	return c.diag[i]
 }
 
 // Stats returns (hits, misses, flops charged by misses).
@@ -101,4 +177,4 @@ func (c *RowCache) ResetFlops() float64 {
 }
 
 // Len returns the number of rows currently cached.
-func (c *RowCache) Len() int { return c.lru.Len() }
+func (c *RowCache) Len() int { return c.used }

@@ -11,9 +11,35 @@ package kernel
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"casvm/internal/la"
 )
+
+// scratch recycles the dense buffers the mixed-storage (sparse×dense)
+// paths need to densify one row. Eval and CrossRow sit on the predict hot
+// path, where a per-evaluation make([]float64, n) would dominate the
+// allocation profile; a sync.Pool keeps the buffers alive across calls and
+// stays safe for the concurrent multi-rank training paths.
+var scratch sync.Pool
+
+// getScratch returns a pooled dense buffer of length n via a stable
+// pointer (so returning it to the pool allocates nothing).
+func getScratch(n int) *[]float64 {
+	if v := scratch.Get(); v != nil {
+		p := v.(*[]float64)
+		if cap(*p) >= n {
+			*p = (*p)[:n]
+			return p
+		}
+	}
+	buf := make([]float64, n)
+	return &buf
+}
+
+func putScratch(p *[]float64) {
+	scratch.Put(p)
+}
 
 // Kind selects one of the standard kernel functions.
 type Kind int
@@ -151,9 +177,10 @@ func (p Params) Eval(a *la.Matrix, i int, b *la.Matrix, j int) float64 {
 		} else if !a.Sparse() && !b.Sparse() {
 			dot = la.Dot(a.DenseRow(i), b.DenseRow(j))
 		} else {
-			// Mixed: densify the b row.
-			buf := make([]float64, b.Features())
-			dot = a.DotVec(i, b.RowInto(j, buf))
+			// Mixed: densify the b row into a pooled scratch buffer.
+			buf := getScratch(b.Features())
+			dot = a.DotVec(i, b.RowInto(j, *buf))
+			putScratch(buf)
 		}
 		d := a.SqNormRow(i) + b.SqNormRow(j) - 2*dot
 		if d < 0 {
@@ -172,8 +199,9 @@ func (p Params) Eval(a *la.Matrix, i int, b *la.Matrix, j int) float64 {
 	case !a.Sparse() && !b.Sparse():
 		dot = la.Dot(a.DenseRow(i), b.DenseRow(j))
 	default:
-		buf := make([]float64, b.Features())
-		dot = a.DotVec(i, b.RowInto(j, buf))
+		buf := getScratch(b.Features())
+		dot = a.DotVec(i, b.RowInto(j, *buf))
+		putScratch(buf)
 	}
 	return p.fromDot(dot, 0)
 }
@@ -270,9 +298,9 @@ func (p Params) CrossRow(a *la.Matrix, b *la.Matrix, j int, dst []float64) float
 			}
 		}
 	default:
-		// Mixed storage: densify the single b row once.
-		buf := make([]float64, b.Features())
-		xj := b.RowInto(j, buf)
+		// Mixed storage: densify the single b row once into pooled scratch.
+		buf := getScratch(b.Features())
+		xj := b.RowInto(j, *buf)
 		xjsq := la.SqNorm(xj)
 		for i := 0; i < m; i++ {
 			if p.Kind == Gaussian {
@@ -281,6 +309,10 @@ func (p Params) CrossRow(a *la.Matrix, b *la.Matrix, j int, dst []float64) float
 				dst[i] = p.fromDot(a.DotVec(i, xj), 0)
 			}
 		}
+		putScratch(buf)
 	}
-	return float64((a.Features()+nnzJ)*m + m)
+	// Charge actual stored entries on the a side — a.NNZ() is m·Features()
+	// for dense but the true nonzero count for sparse, mirroring Row's
+	// nnz-based accounting instead of the dense upper bound.
+	return float64(a.NNZ() + (nnzJ+1)*m)
 }

@@ -2,50 +2,40 @@ package kernel
 
 import (
 	"math"
-	"sync"
 
 	"casvm/internal/la"
+	"casvm/internal/pool"
 )
 
 // Intra-node parallelism: the paper's implementation fans the SMO hot loop
 // out with OpenMP inside each MPI rank; this file is the goroutine
 // analogue. Kernel-row computation is embarrassingly parallel over the
-// target rows, so RowParallel splits the row range across workers.
+// target rows, so RowParallel splits the row range across the persistent
+// worker pool (internal/pool) — no per-call goroutine spawns, and chunk
+// boundaries that depend only on (threads, m, grain) so results and flop
+// counts are identical to the serial path.
 
-// parallelThreshold is the minimum row count worth spawning goroutines
-// for; below it the coordination costs more than the arithmetic.
-const parallelThreshold = 2048
+// rowGrain is the minimum number of output elements per chunk worth
+// handing to a worker. Each element costs ~2·nnz flops, so even narrow
+// features amortise the single channel handoff well below the seed's old
+// 2048-row all-or-nothing threshold.
+const rowGrain = 512
 
 // RowParallel computes K(i, ·) like Row, splitting the work across up to
-// `threads` goroutines. Results are identical to Row (each output element
-// is computed independently). Returns the flop count charged.
+// `threads` pool workers. Results are identical to Row (each output
+// element is computed independently). Returns the flop count charged.
 func (p Params) RowParallel(a *la.Matrix, i int, dst []float64, threads int) float64 {
 	m := a.Rows()
-	if threads <= 1 || m < parallelThreshold {
+	if threads <= 1 || m < 2*rowGrain {
 		return p.Row(a, i, dst)
 	}
 	if p.Kind == Gaussian {
 		a.EnsureNorms() // not goroutine-safe lazily; force it up front
 	}
 	dst = dst[:m]
-	chunk := (m + threads - 1) / threads
-	var wg sync.WaitGroup
-	for t := 0; t < threads; t++ {
-		lo := t * chunk
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			p.rowRange(a, i, dst, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	pool.Shared().ParallelFor(threads, m, rowGrain, func(lo, hi int) {
+		p.rowRange(a, i, dst, lo, hi)
+	})
 	if a.Sparse() {
 		ix, _ := a.SparseRow(i)
 		return float64(2*len(ix)*m + m)

@@ -1,0 +1,326 @@
+package smo
+
+// The fused SMO hot path. Every iteration of the seed solver made three
+// to four O(m) passes over f and the two cached kernel rows: UpdateF's two
+// axpy sweeps, the next iteration's LocalExtremes scan, and (under WSS2)
+// the second-order gain scan. This file merges the two axpy sweeps and the
+// *next* iteration's extremes scan into a single pass — each element of f
+// is loaded once, updated with both kernel-row contributions, and
+// immediately tested for the (bHigh, iHigh, bLow, iLow) working-set
+// extremes — halving memory traffic over the solver's dominant arrays.
+// The scans parallelize across the persistent worker pool (internal/pool)
+// with deterministic chunking.
+//
+// Two invariants are load-bearing:
+//
+//   - Bit-identity. The per-element update is computed as two dependent
+//     additions (f + ch·rh, then + cl·rl), exactly the arithmetic of the
+//     seed's two separate axpy passes; extremes reduce across chunks in
+//     chunk order with strict comparisons, which reproduces the serial
+//     scan's lowest-index tie-breaking. Results are therefore identical
+//     for any thread count, including 1.
+//
+//   - Flop accounting. The fused pass charges only the update's 4·m; the
+//     scan's 2·m is charged when the cached extremes are consumed by
+//     LocalExtremes. Total flops per solve — and hence virtual time —
+//     are exactly the seed's, fused or not, parallel or not.
+
+import (
+	"math"
+)
+
+// scanGrain is the minimum number of f-elements per chunk worth handing
+// to a pool worker for the light O(m) passes (≈6 flops per element).
+const scanGrain = 2048
+
+// extremes is one chunk's partial working-set scan result.
+type extremes struct {
+	bHigh, bLow float64
+	iHigh, iLow int
+}
+
+func newExtremes() extremes {
+	return extremes{bHigh: math.Inf(1), iHigh: -1, bLow: math.Inf(-1), iLow: -1}
+}
+
+// gain is one chunk's partial WSS2 second-order scan result.
+type gain struct {
+	best float64
+	j    int
+}
+
+// bounds returns the positive- and negative-class box bounds once, so the
+// hot loops avoid per-element posWeight() calls.
+func (s *Solver) bounds() (cPos, cNeg float64) {
+	return s.cfg.C * s.cfg.posWeight(), s.cfg.C
+}
+
+// invalidateExtremes drops the cached working-set extremes; every mutation
+// of alpha, f, or the active set must call it.
+func (s *Solver) invalidateExtremes() { s.extValid = false }
+
+// setExtremes records a freshly computed scan result as the cached
+// extremes.
+func (s *Solver) setExtremes(e extremes) {
+	s.ext = e
+	s.extValid = true
+}
+
+// reduceExtremes folds per-chunk partials in chunk order. Strict
+// comparisons keep the earliest chunk's candidate on ties, matching the
+// serial scan's lowest-index tie-breaking bit for bit.
+func (s *Solver) reduceExtremes(nc int) extremes {
+	r := s.chunkExt[0]
+	for c := 1; c < nc; c++ {
+		e := s.chunkExt[c]
+		if e.bHigh < r.bHigh {
+			r.bHigh, r.iHigh = e.bHigh, e.iHigh
+		}
+		if e.bLow > r.bLow {
+			r.bLow, r.iLow = e.bLow, e.iLow
+		}
+	}
+	return r
+}
+
+// scanExtremesRange computes the working-set extremes over f[lo:hi].
+func (s *Solver) scanExtremesRange(lo, hi int) extremes {
+	e := newExtremes()
+	cPos, cNeg := s.bounds()
+	f, y, alpha := s.f, s.y, s.alpha
+	for i := lo; i < hi; i++ {
+		v := f[i]
+		if y[i] > 0 {
+			if alpha[i] < cPos && v < e.bHigh {
+				e.bHigh, e.iHigh = v, i
+			}
+			if alpha[i] > 0 && v > e.bLow {
+				e.bLow, e.iLow = v, i
+			}
+		} else {
+			if alpha[i] > 0 && v < e.bHigh {
+				e.bHigh, e.iHigh = v, i
+			}
+			if alpha[i] < cNeg && v > e.bLow {
+				e.bLow, e.iLow = v, i
+			}
+		}
+	}
+	return e
+}
+
+// scanExtremesActive is scanExtremesRange over a slice of active indices.
+func (s *Solver) scanExtremesActive(act []int) extremes {
+	e := newExtremes()
+	cPos, cNeg := s.bounds()
+	f, y, alpha := s.f, s.y, s.alpha
+	for _, i := range act {
+		v := f[i]
+		if y[i] > 0 {
+			if alpha[i] < cPos && v < e.bHigh {
+				e.bHigh, e.iHigh = v, i
+			}
+			if alpha[i] > 0 && v > e.bLow {
+				e.bLow, e.iLow = v, i
+			}
+		} else {
+			if alpha[i] > 0 && v < e.bHigh {
+				e.bHigh, e.iHigh = v, i
+			}
+			if alpha[i] < cNeg && v > e.bLow {
+				e.bLow, e.iLow = v, i
+			}
+		}
+	}
+	return e
+}
+
+// scanExtremes runs the full (or active-set) extremes scan, fanning out
+// across the pool when the range is large enough to pay for it. It does
+// not charge flops; LocalExtremes owns the 2·m charge.
+func (s *Solver) scanExtremes() extremes {
+	if s.cfg.Shrinking && len(s.active) > 0 {
+		act := s.active
+		if s.pl != nil && len(act) >= 2*scanGrain {
+			nc := s.pl.ParallelForChunks(s.cfg.Threads, len(act), scanGrain, func(c, lo, hi int) {
+				s.chunkExt[c] = s.scanExtremesActive(act[lo:hi])
+			})
+			return s.reduceExtremes(nc)
+		}
+		return s.scanExtremesActive(act)
+	}
+	n := len(s.f)
+	if s.pl != nil && n >= 2*scanGrain {
+		nc := s.pl.ParallelForChunks(s.cfg.Threads, n, scanGrain, func(c, lo, hi int) {
+			s.chunkExt[c] = s.scanExtremesRange(lo, hi)
+		})
+		return s.reduceExtremes(nc)
+	}
+	return s.scanExtremesRange(0, n)
+}
+
+// fusedRange applies both kernel-row updates to f[lo:hi] and scans the
+// updated values for extremes in the same pass. The update arithmetic is
+// two dependent additions per element — exactly the seed's two axpy
+// sweeps — so values are bit-identical to the unfused path.
+func (s *Solver) fusedRange(lo, hi int, rh, rl []float64, ch, cl float64) extremes {
+	e := newExtremes()
+	cPos, cNeg := s.bounds()
+	f, y, alpha := s.f, s.y, s.alpha
+	for i := lo; i < hi; i++ {
+		v := f[i] + ch*rh[i]
+		v += cl * rl[i]
+		f[i] = v
+		if y[i] > 0 {
+			if alpha[i] < cPos && v < e.bHigh {
+				e.bHigh, e.iHigh = v, i
+			}
+			if alpha[i] > 0 && v > e.bLow {
+				e.bLow, e.iLow = v, i
+			}
+		} else {
+			if alpha[i] > 0 && v < e.bHigh {
+				e.bHigh, e.iHigh = v, i
+			}
+			if alpha[i] < cNeg && v > e.bLow {
+				e.bLow, e.iLow = v, i
+			}
+		}
+	}
+	return e
+}
+
+// fusedActive is fusedRange restricted to a slice of active indices.
+func (s *Solver) fusedActive(act []int, rh, rl []float64, ch, cl float64) extremes {
+	e := newExtremes()
+	cPos, cNeg := s.bounds()
+	f, y, alpha := s.f, s.y, s.alpha
+	for _, i := range act {
+		v := f[i] + ch*rh[i]
+		v += cl * rl[i]
+		f[i] = v
+		if y[i] > 0 {
+			if alpha[i] < cPos && v < e.bHigh {
+				e.bHigh, e.iHigh = v, i
+			}
+			if alpha[i] > 0 && v > e.bLow {
+				e.bLow, e.iLow = v, i
+			}
+		} else {
+			if alpha[i] > 0 && v < e.bHigh {
+				e.bHigh, e.iHigh = v, i
+			}
+			if alpha[i] < cNeg && v > e.bLow {
+				e.bLow, e.iLow = v, i
+			}
+		}
+	}
+	return e
+}
+
+// fusedUpdateScan is the fused hot-path iteration tail: it applies eqn
+// (5)'s f-update for the optimised pair and computes the next iteration's
+// working-set extremes in the same pass over f. It charges only the
+// update's 4·m flops; the cached extremes carry the scan, which
+// LocalExtremes charges on consumption. Must be called after PairDeltas
+// (alpha already holds the pair's new values).
+func (s *Solver) fusedUpdateScan(iHigh, iLow int, u PairUpdate) {
+	ch := u.DAlphaHigh * s.y[iHigh]
+	cl := u.DAlphaLow * s.y[iLow]
+	rh := s.cache.Row(iHigh)
+	rl := s.cache.Row(iLow)
+	if s.cfg.Shrinking && len(s.active) > 0 && s.shrunk {
+		act := s.active
+		if s.pl != nil && len(act) >= 2*scanGrain {
+			nc := s.pl.ParallelForChunks(s.cfg.Threads, len(act), scanGrain, func(c, lo, hi int) {
+				s.chunkExt[c] = s.fusedActive(act[lo:hi], rh, rl, ch, cl)
+			})
+			s.setExtremes(s.reduceExtremes(nc))
+		} else {
+			s.setExtremes(s.fusedActive(act, rh, rl, ch, cl))
+		}
+		s.flops += float64(4 * len(act))
+		return
+	}
+	n := len(s.f)
+	if s.pl != nil && n >= 2*scanGrain {
+		nc := s.pl.ParallelForChunks(s.cfg.Threads, n, scanGrain, func(c, lo, hi int) {
+			s.chunkExt[c] = s.fusedRange(lo, hi, rh, rl, ch, cl)
+		})
+		s.setExtremes(s.reduceExtremes(nc))
+	} else {
+		s.setExtremes(s.fusedRange(0, n, rh, rl, ch, cl))
+	}
+	s.flops += float64(4 * n)
+}
+
+// gainRange computes the best WSS2 second-order gain over f[lo:hi]:
+// among violating I_low members, maximise (bHigh − f_j)²/η_j.
+func (s *Solver) gainRange(lo, hi int, rowH []float64, khh, bHigh float64) gain {
+	g := gain{best: -1, j: -1}
+	cNeg := s.cfg.C
+	f, y, alpha := s.f, s.y, s.alpha
+	for j := lo; j < hi; j++ {
+		if y[j] > 0 {
+			if alpha[j] <= 0 {
+				continue
+			}
+		} else if alpha[j] >= cNeg {
+			continue
+		}
+		v := f[j]
+		if v <= bHigh {
+			continue
+		}
+		eta := khh + s.cache.Diag(j) - 2*rowH[j]
+		if eta <= 1e-12 {
+			eta = 1e-12
+		}
+		d := bHigh - v
+		if gn := d * d / eta; gn > g.best {
+			g.best, g.j = gn, j
+		}
+	}
+	return g
+}
+
+// gainActive is gainRange over a slice of active indices.
+func (s *Solver) gainActive(act []int, rowH []float64, khh, bHigh float64) gain {
+	g := gain{best: -1, j: -1}
+	cNeg := s.cfg.C
+	f, y, alpha := s.f, s.y, s.alpha
+	for _, j := range act {
+		if y[j] > 0 {
+			if alpha[j] <= 0 {
+				continue
+			}
+		} else if alpha[j] >= cNeg {
+			continue
+		}
+		v := f[j]
+		if v <= bHigh {
+			continue
+		}
+		eta := khh + s.cache.Diag(j) - 2*rowH[j]
+		if eta <= 1e-12 {
+			eta = 1e-12
+		}
+		d := bHigh - v
+		if gn := d * d / eta; gn > g.best {
+			g.best, g.j = gn, j
+		}
+	}
+	return g
+}
+
+// reduceGain folds per-chunk WSS2 partials in chunk order (strict >,
+// earliest chunk wins ties — the serial lowest-index rule).
+func (s *Solver) reduceGain(nc int) int {
+	r := s.chunkGain[0]
+	for c := 1; c < nc; c++ {
+		if g := s.chunkGain[c]; g.best > r.best {
+			r = g
+		}
+	}
+	return r.j
+}

@@ -21,6 +21,7 @@ func (s *Solver) shrinkEvery() int {
 
 // initActive fills the active list with every index.
 func (s *Solver) initActive() {
+	s.invalidateExtremes()
 	s.active = s.active[:0]
 	for i := range s.y {
 		s.active = append(s.active, i)
@@ -63,6 +64,10 @@ func (s *Solver) shrink() {
 			kept = append(kept, i)
 		}
 	}
+	if len(kept) != len(s.active) {
+		// The cached extremes were computed over the pre-shrink set.
+		s.invalidateExtremes()
+	}
 	s.active = kept
 	if len(s.active) < 2 {
 		// Degenerate: bring everyone back rather than stall.
@@ -77,6 +82,7 @@ func (s *Solver) reconstructAndActivate() {
 	if !s.shrunk {
 		return
 	}
+	s.invalidateExtremes()
 	m := len(s.y)
 	inactive := make([]bool, m)
 	for i := range inactive {
@@ -145,7 +151,7 @@ func (s *Solver) stepShrinking() (done bool) {
 	if u.DAlphaHigh == 0 && u.DAlphaLow == 0 {
 		return true
 	}
-	s.UpdateF(iHigh, iLow, u)
+	s.fusedUpdateScan(iHigh, iLow, u)
 	s.iters++
 	s.sinceShrink++
 	return false

@@ -17,6 +17,7 @@ import (
 
 	"casvm/internal/kernel"
 	"casvm/internal/la"
+	"casvm/internal/pool"
 )
 
 // Config carries the solver hyper-parameters.
@@ -49,10 +50,14 @@ type Config struct {
 	// when y_i = +1 (0 means 1). Raising it counters class imbalance by
 	// making positive errors costlier (the usual class-weighted SVM).
 	PosWeight float64
-	// Threads fans kernel-row computation out across up to this many
-	// goroutines inside the solver — the shared-memory (OpenMP-style)
-	// parallelism the paper layers under MPI. 0 or 1 is serial. Virtual
-	// time is unaffected (flop counts are deterministic); only wall time
+	// Threads fans the solver's O(m) inner loop — kernel-row fills, the
+	// fused f-update/working-set scan, and the WSS2 second-order scan —
+	// across up to this many workers of the shared persistent pool
+	// (internal/pool): the shared-memory (OpenMP-style) parallelism the
+	// paper layers under MPI. 0 or 1 is serial. Results are bit-identical
+	// for every thread count (deterministic chunking plus in-order
+	// reductions), so alphas, bias, iteration counts, flops and therefore
+	// virtual time are all thread-count-invariant; only wall time
 	// improves.
 	Threads int
 	// Interrupt, when non-nil, is polled with the iteration count before
@@ -118,6 +123,20 @@ type Solver struct {
 	active      []int
 	shrunk      bool
 	sinceShrink int
+
+	// Fused-iteration state: the working-set extremes computed by the last
+	// fused update/scan pass (or cached from a plain scan), valid until
+	// the next mutation of alpha, f, or the active set. LocalExtremes
+	// serves from here when valid, charging the same 2·m the scan it
+	// replaces would have, so flop totals match the unfused seed exactly.
+	ext      extremes
+	extValid bool
+
+	// Parallel scan machinery: the shared worker pool (nil when serial)
+	// and per-chunk reduction scratch sized to cfg.Threads.
+	pl        *pool.Pool
+	chunkExt  []extremes
+	chunkGain []gain
 }
 
 // New prepares a solver for the given samples and ±1 labels, optionally
@@ -159,6 +178,11 @@ func New(x *la.Matrix, y []float64, cfg Config, warm []float64) (*Solver, error)
 		cache: kernel.NewRowCache(cfg.Kernel, x, cacheRows),
 	}
 	s.cache.SetThreads(cfg.Threads)
+	if cfg.Threads > 1 {
+		s.pl = pool.Shared()
+		s.chunkExt = make([]extremes, cfg.Threads)
+		s.chunkGain = make([]gain, cfg.Threads)
+	}
 	// f_i = Σ_j α_j y_j K_ij − y_i ; with α = 0 this is just −y_i.
 	for i := range s.f {
 		s.f[i] = -y[i]
@@ -228,31 +252,23 @@ func (s *Solver) inLow(i int) bool {
 // (index iHigh) and bLow = max f over I_low (index iLow). Empty sets yield
 // +Inf/−Inf with index −1. The scan charges 2·|active| flops and is
 // restricted to the active set when shrinking is enabled.
+//
+// When the fused update pass (or an earlier scan with no intervening
+// mutation) already computed the extremes, they are served from cache —
+// with the identical 2·|active| charge, so flop totals never depend on
+// fusion. The scan itself fans out across the worker pool for large
+// problems when cfg.Threads > 1; chunked reduction is bit-identical to
+// the serial scan.
 func (s *Solver) LocalExtremes() (bHigh float64, iHigh int, bLow float64, iLow int) {
-	bHigh, iHigh = math.Inf(1), -1
-	bLow, iLow = math.Inf(-1), -1
+	n := len(s.f)
 	if s.cfg.Shrinking && len(s.active) > 0 {
-		for _, i := range s.active {
-			if s.inHigh(i) && s.f[i] < bHigh {
-				bHigh, iHigh = s.f[i], i
-			}
-			if s.inLow(i) && s.f[i] > bLow {
-				bLow, iLow = s.f[i], i
-			}
-		}
-		s.flops += float64(2 * len(s.active))
-		return
+		n = len(s.active)
 	}
-	for i := range s.f {
-		if s.inHigh(i) && s.f[i] < bHigh {
-			bHigh, iHigh = s.f[i], i
-		}
-		if s.inLow(i) && s.f[i] > bLow {
-			bLow, iLow = s.f[i], i
-		}
+	if !s.extValid {
+		s.setExtremes(s.scanExtremes())
 	}
-	s.flops += float64(2 * len(s.f))
-	return
+	s.flops += float64(2 * n)
+	return s.ext.bHigh, s.ext.iHigh, s.ext.bLow, s.ext.iLow
 }
 
 // PairUpdate holds the result of optimising one (high, low) pair: the two
@@ -275,6 +291,7 @@ func (s *Solver) PairDeltas(iHigh, iLow int) PairUpdate {
 // pairDeltasRaw implements the clipped update given kernel values; split
 // out so distributed SMO can pass remotely-computed kernel entries.
 func (s *Solver) pairDeltasRaw(iHigh, iLow int, yh, yl, fh, fl, khh, kll, khl float64) PairUpdate {
+	s.invalidateExtremes() // alpha changes below shift the Keerthi sets
 	ah, al := s.alpha[iHigh], s.alpha[iLow]
 	ch, cl := s.boundFor(iHigh), s.boundFor(iLow)
 	dah, dal := PairSolveWeighted(ch, cl, yh, yl, fh, fl, ah, al, khh, kll, khl)
@@ -340,6 +357,7 @@ func (s *Solver) snapTo(a, c float64) float64 {
 // Δα_low·y_low·K(low,i), using cached rows — over the active set only when
 // shrinking is enabled (shrunk entries are reconstructed later).
 func (s *Solver) UpdateF(iHigh, iLow int, u PairUpdate) {
+	s.invalidateExtremes()
 	if s.cfg.Shrinking && len(s.active) > 0 && s.shrunk {
 		ch := u.DAlphaHigh * s.y[iHigh]
 		cl := u.DAlphaLow * s.y[iLow]
@@ -366,6 +384,7 @@ func (s *Solver) UpdateF(iHigh, iLow int, u PairUpdate) {
 // Local alpha changes (when this rank owns the sample) must be applied
 // separately via AddAlpha.
 func (s *Solver) ApplyExternalUpdate(ext *la.Matrix, extIdx int, yExt, dAlpha float64, buf []float64) {
+	s.invalidateExtremes()
 	s.flops += s.cfg.Kernel.CrossRow(s.x, ext, extIdx, buf)
 	la.Axpy(dAlpha*yExt, buf[:len(s.f)], s.f)
 	s.flops += float64(2 * len(s.f))
@@ -373,6 +392,7 @@ func (s *Solver) ApplyExternalUpdate(ext *la.Matrix, extIdx int, yExt, dAlpha fl
 
 // AddAlpha adds d to alpha[i], clipping to [0, C_i] and snapping edge dust.
 func (s *Solver) AddAlpha(i int, d float64) {
+	s.invalidateExtremes()
 	a := s.alpha[i] + d
 	b := s.boundFor(i)
 	s.alpha[i] = s.snapTo(math.Min(b, math.Max(0, a)), b)
@@ -399,7 +419,7 @@ func (s *Solver) Step() (done bool) {
 		// Maximal violating pair cannot move: numerically stuck.
 		return true
 	}
-	s.UpdateF(iHigh, iLow, u)
+	s.fusedUpdateScan(iHigh, iLow, u)
 	s.iters++
 	return false
 }
@@ -407,25 +427,33 @@ func (s *Solver) Step() (done bool) {
 // secondOrderLow implements WSS2: among violating I_low members, pick the
 // one maximising the guaranteed objective decrease (bHigh − f_j)²/η_j where
 // η_j = K(h,h) + K(j,j) − 2K(h,j). Returns −1 when no violator exists.
+// With shrinking enabled, only the active set is scanned (and charged):
+// shrunk samples' f entries are stale and must not steer pair selection.
+// Large scans fan out across the worker pool with a deterministic
+// chunk-ordered reduction.
 func (s *Solver) secondOrderLow(iHigh int, bHigh float64) int {
 	rowH := s.cache.Row(iHigh)
 	khh := s.cache.Diag(iHigh)
-	best, bj := -1.0, -1
-	for j := range s.f {
-		if !s.inLow(j) || s.f[j] <= bHigh {
-			continue
+	if s.cfg.Shrinking && len(s.active) > 0 {
+		act := s.active
+		s.flops += float64(5 * len(act))
+		if s.pl != nil && len(act) >= 2*scanGrain {
+			nc := s.pl.ParallelForChunks(s.cfg.Threads, len(act), scanGrain, func(c, lo, hi int) {
+				s.chunkGain[c] = s.gainActive(act[lo:hi], rowH, khh, bHigh)
+			})
+			return s.reduceGain(nc)
 		}
-		eta := khh + s.cache.Diag(j) - 2*rowH[j]
-		if eta <= 1e-12 {
-			eta = 1e-12
-		}
-		d := bHigh - s.f[j]
-		if gain := d * d / eta; gain > best {
-			best, bj = gain, j
-		}
+		return s.gainActive(act, rowH, khh, bHigh).j
 	}
-	s.flops += float64(5 * len(s.f))
-	return bj
+	n := len(s.f)
+	s.flops += float64(5 * n)
+	if s.pl != nil && n >= 2*scanGrain {
+		nc := s.pl.ParallelForChunks(s.cfg.Threads, n, scanGrain, func(c, lo, hi int) {
+			s.chunkGain[c] = s.gainRange(lo, hi, rowH, khh, bHigh)
+		})
+		return s.reduceGain(nc)
+	}
+	return s.gainRange(0, n, rowH, khh, bHigh).j
 }
 
 // TakeFlops drains the solver's accumulated flop counter (including kernel
