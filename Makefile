@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check fuzz bench
+.PHONY: build test race race-matrix vet check fuzz fuzz-smoke bench cover
 
 build:
 	$(GO) build ./...
@@ -14,21 +14,51 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# check is the full verification gate: vet plus the whole test suite under
-# the race detector (the concurrency-heavy packages — mpi, tcpmpi, faults,
-# core — are exactly where races would hide).
-check: vet race
+# race-matrix re-runs the concurrency-heavy packages under the race
+# detector at 1 and 4 CPUs — single-CPU scheduling serializes goroutines
+# differently and has caught interleavings the default run missed.
+race-matrix:
+	$(GO) test -race -cpu 1,4 ./internal/mpi ./internal/tcpmpi \
+		./internal/faults ./internal/core ./internal/pool ./internal/trace
+
+# fuzz-smoke runs every fuzz target's seed corpus (no exploration) so the
+# corpora cannot rot; `make fuzz` does the time-boxed exploration.
+fuzz-smoke:
+	$(GO) test -run 'Fuzz' ./internal/data ./internal/tcpmpi ./internal/trace
+
+# check is the full verification gate: vet, the whole suite under the race
+# detector, the 1/4-CPU race matrix over the concurrency-heavy packages,
+# and the fuzz seed corpora.
+check: vet race race-matrix fuzz-smoke
 
 # bench runs the SMO hot-path benchmark suite at 1 and 4 threads and
 # records ns/op + allocs/op in BENCH_smo.json (via cmd/benchjson).
+# BenchmarkSolveInstrumented vs BenchmarkSolve prices the live-timeline
+# overhead; the disabled path is pinned to 0 allocs/op by test.
 bench:
 	$(GO) test ./internal/smo ./internal/kernel ./internal/la \
-		-run '^$$' -bench 'BenchmarkSolve$$|UpdateScanFused|RowCache|BenchmarkDot' \
+		-run '^$$' -bench 'BenchmarkSolve$$|BenchmarkSolveInstrumented$$|UpdateScanFused|RowCache|BenchmarkDot' \
 		-benchmem -cpu 1,4 | $(GO) run ./cmd/benchjson > BENCH_smo.json
 	@echo wrote BENCH_smo.json
 
-# Short fuzz sweep over every fuzz target (parsers and the wire-frame
-# decoder); the seed corpora also run in plain `make test`.
+# Short fuzz sweep over every fuzz target (parsers, the wire-frame
+# decoder, and the run-report round trip); seed corpora also run in
+# plain `make test`.
 fuzz:
 	$(GO) test -fuzz FuzzReadLIBSVM -fuzztime 10s ./internal/data
 	$(GO) test -fuzz FuzzReadFrame -fuzztime 10s ./internal/tcpmpi
+	$(GO) test -fuzz FuzzRunReportRoundTrip -fuzztime 10s ./internal/trace
+
+# cover enforces a 70% statement-coverage floor on the observability and
+# modeling packages (the ones whose regressions are silent).
+COVER_PKGS = ./internal/trace ./internal/perfmodel ./internal/expt
+cover:
+	@for pkg in $(COVER_PKGS); do \
+		out=$$($(GO) test -cover $$pkg | tail -1); \
+		echo "$$out"; \
+		pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "FAIL: no coverage for $$pkg"; exit 1; fi; \
+		if ! awk -v p="$$pct" 'BEGIN{exit (p>=70)?0:1}'; then \
+			echo "FAIL: $$pkg coverage $$pct% < 70%"; exit 1; fi; \
+	done
+	@echo "coverage floor (70%) passed"

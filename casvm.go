@@ -30,6 +30,7 @@ import (
 	"casvm/internal/model"
 	"casvm/internal/multiclass"
 	"casvm/internal/perfmodel"
+	"casvm/internal/trace"
 )
 
 // Method names one of the eight training algorithms.
@@ -99,6 +100,33 @@ func NewDenseMatrix(m, n int, rowMajor []float64) *Matrix {
 // la.NewSparse for the invariants).
 func NewSparseMatrix(m, n int, rowptr, idx []int32, val []float64) *Matrix {
 	return la.NewSparse(m, n, rowptr, idx, val)
+}
+
+// Timeline records per-rank span events (collectives, solver phases,
+// kernel-row fills). Attach one to Params.Timeline, then export with
+// WriteChromeTrace (chrome://tracing / Perfetto) or aggregate with
+// PhaseStats.
+type Timeline = trace.Timeline
+
+// MetricsRegistry collects counters, gauges and histograms from a run;
+// attach one to Params.Metrics. Expose with WriteProm (Prometheus text) or
+// Publish (expvar).
+type MetricsRegistry = trace.Registry
+
+// RunReport is the structured summary written by `casvm-train -report`.
+type RunReport = trace.Report
+
+// NewTimeline creates a timeline for a p-rank run.
+func NewTimeline(p int) *Timeline { return trace.NewTimeline(p) }
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return trace.NewRegistry() }
+
+// BuildReport assembles the structured run report for a finished run; see
+// trace.Report. dataset and accuracy annotate the report (zero values are
+// omitted from the JSON).
+func BuildReport(out *Output, p Params, dataset string, accuracy float64) (*RunReport, error) {
+	return core.BuildReport(out, p, dataset, accuracy)
 }
 
 // Methods returns every trainable method in presentation order.

@@ -24,8 +24,9 @@ func main() {
 		scale = flag.Float64("scale", 1.0, "dataset scale multiplier")
 		p     = flag.Int("p", 8, "ranks for the fixed-size experiments")
 		maxP  = flag.Int("maxp", 64, "largest rank count in the scaling sweeps")
-		seed  = flag.Int64("seed", 1, "run seed")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		seed   = flag.Int64("seed", 1, "run seed")
+		report = flag.String("report", "", "write a JSON array of per-run structured reports to this path")
+		list   = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
@@ -41,20 +42,37 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := expt.Config{Out: os.Stdout, Scale: *scale, P: *p, MaxP: *maxP, Seed: *seed}
+	if *report != "" {
+		cfg.Reports = &expt.ReportSink{}
+	}
 	if *exp == "all" {
 		if err := expt.RunAll(cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "casvm-bench:", err)
 			os.Exit(1)
 		}
-		return
+	} else {
+		r, err := expt.Find(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "casvm-bench:", err)
+			os.Exit(2)
+		}
+		if err := expt.RunOne(r, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "casvm-bench:", err)
+			os.Exit(1)
+		}
 	}
-	r, err := expt.Find(*exp)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "casvm-bench:", err)
-		os.Exit(2)
-	}
-	if err := expt.RunOne(r, cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "casvm-bench:", err)
-		os.Exit(1)
+	if cfg.Reports != nil {
+		f, err := os.Create(*report)
+		if err == nil {
+			err = cfg.Reports.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "casvm-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%d run reports written to %s\n", cfg.Reports.Len(), *report)
 	}
 }

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"casvm"
@@ -29,6 +30,8 @@ func main() {
 		ratio   = flag.Bool("ratio-balance", true, "pos/neg ratio balancing (FCFS/BKM-CA)")
 		threads = flag.Int("threads", 0, "per-rank solver threads (0/1 = serial; results are identical for any value)")
 		modelP  = flag.String("model", "casvm.model", "output model path")
+		report  = flag.String("report", "", "write a structured JSON run report to this path")
+		traceP  = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this path (load in chrome://tracing or ui.perfetto.dev)")
 		list    = flag.Bool("list", false, "list datasets and methods, then exit")
 	)
 	flag.Parse()
@@ -77,6 +80,13 @@ func main() {
 	params.Kernel = casvm.RBF(g)
 	params.RatioBalanced = *ratio
 	params.Threads = *threads
+	if *report != "" || *traceP != "" {
+		// Observability costs nothing unless asked for; when asked, the
+		// timeline feeds both the Chrome export and the report's phase
+		// split, and the registry feeds the report's metrics block.
+		params.Timeline = casvm.NewTimeline(*p)
+		params.Metrics = casvm.NewMetricsRegistry()
+	}
 
 	out, acc, err := casvm.TrainDataset(ds, params)
 	if err != nil {
@@ -96,6 +106,40 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("model written to %s\n", *modelP)
+
+	name := *dataset
+	if name == "" {
+		name = *file
+	}
+	if *report != "" {
+		rep, err := casvm.BuildReport(out, params, name, acc)
+		if err != nil {
+			fail(err)
+		}
+		if err := writeFile(*report, rep.WriteJSON); err != nil {
+			fail(err)
+		}
+		fmt.Printf("report written to %s\n", *report)
+	}
+	if *traceP != "" {
+		if err := writeFile(*traceP, params.Timeline.WriteChromeTrace); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceP)
+	}
+}
+
+// writeFile creates path and streams the writer function into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

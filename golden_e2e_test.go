@@ -1,0 +1,66 @@
+package casvm
+
+import "testing"
+
+// goldenRun pins the full-pipeline fingerprint of one training
+// configuration: the SHA-256 of the serialized model set, the critical-path
+// iteration count, and the modeled total flop count. All three are
+// bit-deterministic — independent of wall-clock, scheduling and the Threads
+// setting — so any drift means the numerics changed, not the environment.
+type goldenRun struct {
+	method Method
+	p      int
+	hash   string
+	iters  int
+	flops  float64
+}
+
+func goldenParams(m Method, p, threads int) Params {
+	pr := DefaultParams(m, p)
+	pr.Kernel = RBF(0.5)
+	pr.Threads = threads
+	return pr
+}
+
+// TestGoldenEndToEnd trains on the registered toy dataset and compares the
+// run fingerprint against golden values, at Threads = 1, 2 and 4. The
+// shared-memory parallel solver promises bit-identical results for every
+// thread count; a mismatch between thread counts is a determinism bug, a
+// mismatch against the golden values is a numerics change (update the
+// constants only for an intentional algorithm change).
+func TestGoldenEndToEnd(t *testing.T) {
+	golden := []goldenRun{
+		{MethodRACA, 4, "6e603d88184ed7fd7a01845da0195d90edf557a950f1535f8b630d4b35b3eb2f", 739, 2.78144e+07},
+		{MethodFCFSCA, 4, "39d1239622cd4d386a42d70151d76b3d26bada66e4929426e56ca3f6ccc58fb4", 604, 2.671318e+07},
+		{MethodDisSMO, 2, "976ca4d880ff9b6a581dab35f7854977444a47ff3aadf35905d1ff74e39a9188", 2148, 2.47452801e+08},
+	}
+	ds, _, err := LoadDataset("toy", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range golden {
+		for _, threads := range []int{1, 2, 4} {
+			pr := goldenParams(g.method, g.p, threads)
+			out, err := Train(ds.X, ds.Y, pr)
+			if err != nil {
+				t.Fatalf("%s threads=%d: %v", g.method, threads, err)
+			}
+			rep, err := BuildReport(out, pr, "toy", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.ModelHash != g.hash {
+				t.Errorf("%s threads=%d: model hash %s, want %s",
+					g.method, threads, rep.ModelHash, g.hash)
+			}
+			if rep.Iters != g.iters {
+				t.Errorf("%s threads=%d: iters %d, want %d",
+					g.method, threads, rep.Iters, g.iters)
+			}
+			if rep.TotalFlops != g.flops {
+				t.Errorf("%s threads=%d: flops %v, want %v",
+					g.method, threads, rep.TotalFlops, g.flops)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"casvm/internal/mpi"
 	"casvm/internal/partition"
 	"casvm/internal/smo"
+	"casvm/internal/trace"
 )
 
 // trainCASVM implements the communication-avoiding family (§IV-B):
@@ -20,6 +21,8 @@ import (
 // property of CA-SVM. Under PlacementRoot (casvm1) the run begins with a
 // scatter from rank 0 (the Fig 9 comparison).
 func trainCASVM(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params, out *rankResult) error {
+	rec := c.Recorder()
+	spInit := rec.BeginVirt(trace.CatInit, "partition", c.Clock())
 	var local part
 	var err error
 	if p.Placement == PlacementRoot {
@@ -66,12 +69,15 @@ func trainCASVM(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params, out *ra
 	}
 	out.partSize = local.x.Rows()
 	out.initSec = c.Clock()
+	rec.EndVirt(spInit, c.Clock())
 
+	spSolve := rec.BeginVirt(trace.CatTrain, "solve", c.Clock())
 	res, err := smo.Solve(local.x, local.y, p.solverConfigAt(c.Rank()), nil)
 	if err != nil {
 		return err
 	}
 	c.Charge(res.Flops)
+	rec.EndVirt(spSolve, c.Clock())
 	out.iters = res.Iters
 	out.local = localModel(local.x, local.y, res, p.Kernel)
 	out.svs = out.local.NSV()

@@ -127,6 +127,20 @@ type Params struct {
 	// and prediction routes over the survivors. Methods that genuinely
 	// need every rank (Dis-SMO, the reduction trees) still fail fast.
 	Degraded bool
+
+	// Timeline, when non-nil (sized to P, trace.NewTimeline(P)), records
+	// per-rank span events: every collective, the partition/solve phases,
+	// and the solver's scan/update/shrink/row-fill internals, each with
+	// wall and (where tracked) virtual time. Export with
+	// Timeline.WriteChromeTrace for chrome://tracing / Perfetto. Nil — the
+	// default — keeps all instrumentation on its zero-allocation path.
+	Timeline *trace.Timeline
+
+	// Metrics, when non-nil, receives run counters and histograms
+	// (solver iterations, row-cache hits/misses). Expose it via
+	// Registry.Publish (expvar) or Registry.WriteProm. Nil records
+	// nothing.
+	Metrics *trace.Registry
 }
 
 // FaultInjector is what Params.Faults accepts: a transport hook for
@@ -184,12 +198,15 @@ func (p Params) solverConfig() smo.Config {
 }
 
 // solverConfigAt is solverConfig plus the rank's fault-injection interrupt
-// (a no-op without an injector).
+// (a no-op without an injector) and the rank's observability sinks (no-ops
+// without a timeline/registry).
 func (p Params) solverConfigAt(rank int) smo.Config {
 	cfg := p.solverConfig()
 	if p.Faults != nil {
 		cfg.Interrupt = func(iter int) error { return p.Faults.CrashCheck(rank, iter) }
 	}
+	cfg.Trace = p.Timeline.Rank(rank)
+	cfg.Metrics = p.Metrics
 	return cfg
 }
 
@@ -276,6 +293,11 @@ type Stats struct {
 	CommSec    float64
 	CompSec    float64
 
+	// TotalFlops is the summed modeled flop count over all ranks. Flop
+	// accounting is deterministic and thread-count-invariant, so it
+	// doubles as a reproducibility fingerprint of the run.
+	TotalFlops float64
+
 	// PartSizes are the per-node sample counts after partitioning
 	// (Fig 5), and NodeTrainSec the per-node training time (Fig 7).
 	PartSizes    []int
@@ -344,6 +366,7 @@ func fillCommStats(st *Stats, ts *trace.Stats) {
 	st.CommMatrix = ts.Matrix()
 	st.CommSec = ts.MaxCommSec()
 	st.CompSec = ts.MaxCompSec()
+	st.TotalFlops = ts.TotalFlops()
 	st.LostRanks = ts.LostRanks()
 }
 

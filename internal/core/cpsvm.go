@@ -5,6 +5,7 @@ import (
 	"casvm/internal/la"
 	"casvm/internal/mpi"
 	"casvm/internal/smo"
+	"casvm/internal/trace"
 )
 
 // trainCPSVM implements Clustering-Partition SVM (§IV-A): distributed
@@ -13,6 +14,8 @@ import (
 // parallel. Each node keeps its own model file MF_j; prediction routes a
 // query to the model of its nearest center (Fig 3).
 func trainCPSVM(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params, out *rankResult) error {
+	rec := c.Recorder()
+	spInit := rec.BeginVirt(trace.CatInit, "partition", c.Clock())
 	local, err := scatterBlocks(c, full, fullY)
 	if err != nil {
 		return err
@@ -25,12 +28,15 @@ func trainCPSVM(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params, out *ra
 	out.partSize = local.x.Rows()
 	out.center = append([]float64(nil), km.Centers.DenseRow(c.Rank())...)
 	out.initSec = c.Clock()
+	rec.EndVirt(spInit, c.Clock())
 
+	spSolve := rec.BeginVirt(trace.CatTrain, "solve", c.Clock())
 	res, err := smo.Solve(local.x, local.y, p.solverConfigAt(c.Rank()), nil)
 	if err != nil {
 		return err
 	}
 	c.Charge(res.Flops)
+	rec.EndVirt(spSolve, c.Clock())
 	out.iters = res.Iters
 	out.local = localModel(local.x, local.y, res, p.Kernel)
 	out.svs = out.local.NSV()

@@ -8,6 +8,7 @@ import (
 	"casvm/internal/model"
 	"casvm/internal/mpi"
 	"casvm/internal/smo"
+	"casvm/internal/trace"
 )
 
 // trainDisSMO implements Cao et al.'s distributed SMO. The samples are
@@ -24,13 +25,17 @@ import (
 // The result is bitwise the trajectory of serial SMO on the full set, up to
 // the float32 wire rounding of the initial scatter.
 func trainDisSMO(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params, out *rankResult) error {
+	rec := c.Recorder()
+	spInit := rec.BeginVirt(trace.CatInit, "partition", c.Clock())
 	local, err := scatterBlocks(c, full, fullY)
 	if err != nil {
 		return err
 	}
 	out.partSize = local.x.Rows()
 	out.initSec = c.Clock()
+	rec.EndVirt(spInit, c.Clock())
 
+	spSolve := rec.BeginVirt(trace.CatTrain, "solve", c.Clock())
 	solver, err := smo.New(local.x, local.y, p.solverConfig(), nil)
 	if err != nil {
 		return err
@@ -95,6 +100,7 @@ func trainDisSMO(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params, out *r
 	}
 	out.iters = iters
 	out.trainSec = c.Clock() - out.initSec
+	rec.EndVirt(spSolve, c.Clock())
 
 	// Assemble the global model at rank 0: gather (SV rows, y, α, local
 	// bHigh/bLow contributions).

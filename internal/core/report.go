@@ -1,0 +1,78 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"casvm/internal/model"
+	"casvm/internal/trace"
+)
+
+// ModelHash returns the SHA-256 hex digest of the serialized model set. The
+// save format is fully deterministic, so the hash is a reproducibility
+// fingerprint: two runs with the same data, parameters and seed produce the
+// same hash regardless of Threads (the solver is bit-identical under
+// shared-memory parallelism).
+func ModelHash(s *model.Set) (string, error) {
+	var buf bytes.Buffer
+	if err := model.SaveSet(&buf, s); err != nil {
+		return "", fmt.Errorf("core: hashing model: %w", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// BuildReport assembles the structured run report for a finished training
+// run: parameters, machine constants, the phase/time split, communication
+// volumes, fault outcome, and the model fingerprint. Timeline phases and
+// metrics are attached when the caller wired them into Params; dataset and
+// accuracy are caller-supplied annotations (zero values omit them).
+func BuildReport(out *Output, p Params, dataset string, accuracy float64) (*trace.Report, error) {
+	st := out.Stats
+	r := &trace.Report{
+		Method:  string(st.Method),
+		Dataset: dataset,
+		P:       st.P,
+		Threads: p.Threads,
+		Seed:    p.Seed,
+		Machine: trace.MachineInfo{
+			TcSec: p.Machine.Tc,
+			TsSec: p.Machine.Ts,
+			TwSec: p.Machine.Tw,
+		},
+		Solver: trace.SolverInfo{
+			C:         p.C,
+			Tol:       p.Tol,
+			Kernel:    p.Kernel.Kind.String(),
+			Gamma:     p.Kernel.Gamma,
+			PosWeight: p.PosWeight,
+		},
+		Iters:      st.Iters,
+		SVs:        st.SVs,
+		TotalFlops: st.TotalFlops,
+		Accuracy:   accuracy,
+		InitSec:    st.InitSec,
+		TrainSec:   st.TrainSec,
+		TotalSec:   st.TotalSec,
+		WallSec:    st.Wall.Seconds(),
+		CompSec:    st.CompSec,
+		CommSec:    st.CommSec,
+		CommBytes:  st.CommBytes,
+		CommOps:    st.CommOps,
+		CommMatrix: st.CommMatrix,
+		LostRanks:  st.LostRanks,
+		Degraded:   st.Degraded,
+	}
+	if out.Set != nil {
+		h, err := ModelHash(out.Set)
+		if err != nil {
+			return nil, err
+		}
+		r.ModelHash = h
+	}
+	r.AttachTimeline(p.Timeline)
+	r.AttachMetrics(p.Metrics)
+	return r, nil
+}

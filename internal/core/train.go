@@ -24,6 +24,7 @@ func Train(x *la.Matrix, y []float64, p Params) (*Output, error) {
 	if p.Faults != nil {
 		world.SetTransportHook(p.Faults)
 	}
+	world.SetTimeline(p.Timeline)
 	results := make([]rankResult, p.P)
 	lc := newLayerCollector()
 

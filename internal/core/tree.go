@@ -8,6 +8,7 @@ import (
 	"casvm/internal/model"
 	"casvm/internal/mpi"
 	"casvm/internal/smo"
+	"casvm/internal/trace"
 )
 
 // layerCollector accumulates per-layer node profiles (Table V) from all
@@ -72,6 +73,8 @@ func treeLayers(p int) int {
 func trainTree(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params,
 	out *rankResult, useKMeans, passAll bool, lc *layerCollector) error {
 
+	rec := c.Recorder()
+	spInit := rec.BeginVirt(trace.CatInit, "partition", c.Clock())
 	local, err := scatterBlocks(c, full, fullY)
 	if err != nil {
 		return err
@@ -85,6 +88,7 @@ func trainTree(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params,
 	}
 	out.partSize = local.x.Rows()
 	out.initSec = c.Clock()
+	rec.EndVirt(spInit, c.Clock())
 
 	passes := p.CascadePasses
 	if passes < 1 {
@@ -145,11 +149,13 @@ func runTreePass(c *mpi.Comm, current part, p Params, passAll bool,
 			return part{}, nil, nil // retired in an earlier layer
 		}
 		t0 := c.Clock()
+		sp := c.Recorder().BeginVirt(trace.CatTrain, "layer-solve", t0)
 		res, err := smo.Solve(current.x, current.y, p.solverConfigAt(c.Rank()), current.alpha)
 		if err != nil {
 			return part{}, nil, err
 		}
 		c.Charge(res.Flops)
+		c.Recorder().EndVirt(sp, c.Clock())
 		svRows := []int{}
 		for i, a := range res.Alpha {
 			if a > 0 {

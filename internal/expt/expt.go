@@ -5,15 +5,19 @@
 package expt
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"casvm/internal/core"
 	"casvm/internal/data"
 	"casvm/internal/kernel"
+	"casvm/internal/la"
 	"casvm/internal/perfmodel"
+	"casvm/internal/trace"
 )
 
 // Config tunes an experiment run.
@@ -29,6 +33,65 @@ type Config struct {
 	MaxP int
 	// Seed offsets all run seeds for variance studies.
 	Seed int64
+	// Reports, when non-nil, collects a structured run report for every
+	// training run the experiments perform (`casvm-bench -report`). Nil
+	// keeps all runs on the zero-instrumentation path.
+	Reports *ReportSink
+}
+
+// ReportSink accumulates structured run reports (trace.Report) from every
+// training run an experiment performs; safe for concurrent adds.
+type ReportSink struct {
+	mu   sync.Mutex
+	reps []*trace.Report
+}
+
+func (s *ReportSink) add(r *trace.Report) {
+	s.mu.Lock()
+	s.reps = append(s.reps, r)
+	s.mu.Unlock()
+}
+
+// Len returns how many reports have been collected.
+func (s *ReportSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.reps)
+}
+
+// WriteJSON writes the collected reports as one indented JSON array.
+func (s *ReportSink) WriteJSON(w io.Writer) error {
+	s.mu.Lock()
+	reps := append([]*trace.Report{}, s.reps...)
+	s.mu.Unlock()
+	for _, r := range reps {
+		r.Schema = trace.ReportSchema
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reps)
+}
+
+// train is the harness's single entry into core.Train: when Config.Reports
+// is set it attaches observability sinks to the run and records the built
+// report (annotated with the dataset name); otherwise it is a plain call.
+func train(cfg Config, dataset string, x *la.Matrix, y []float64, pr core.Params) (*core.Output, error) {
+	if cfg.Reports != nil {
+		pr.Timeline = trace.NewTimeline(pr.P)
+		pr.Metrics = trace.NewRegistry()
+	}
+	out, err := core.Train(x, y, pr)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Reports != nil {
+		rep, err := core.BuildReport(out, pr, dataset, 0)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Reports.add(rep)
+	}
+	return out, nil
 }
 
 func (c Config) withDefaults() Config {

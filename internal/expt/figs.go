@@ -50,11 +50,11 @@ func Fig7(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	cp, err := core.Train(d.X, d.Y, paramsFor(cfg, core.MethodCPSVM, e, cfg.P, d.M()))
+	cp, err := train(cfg, "epsilon", d.X, d.Y, paramsFor(cfg, core.MethodCPSVM, e, cfg.P, d.M()))
 	if err != nil {
 		return err
 	}
-	ca, err := core.Train(d.X, d.Y, paramsFor(cfg, core.MethodRACA, e, cfg.P, d.M()))
+	ca, err := train(cfg, "epsilon", d.X, d.Y, paramsFor(cfg, core.MethodRACA, e, cfg.P, d.M()))
 	if err != nil {
 		return err
 	}
@@ -155,7 +155,7 @@ func Fig9(cfg Config) error {
 	for _, r := range rows {
 		p := paramsFor(cfg, r.m, e, cfg.P, d.M())
 		p.Placement = r.place
-		out, err := core.Train(d.X, d.Y, p)
+		out, err := train(cfg, "toy", d.X, d.Y, p)
 		if err != nil {
 			return fmt.Errorf("%s: %w", r.label, err)
 		}

@@ -1,0 +1,87 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"casvm/internal/core"
+	"casvm/internal/trace"
+)
+
+// TestReportSinkCollectsRuns drives the harness's train() chokepoint with a
+// sink attached and checks every run lands in it as a schema-stamped report.
+func TestReportSinkCollectsRuns(t *testing.T) {
+	cfg := Config{Reports: &ReportSink{}}.withDefaults()
+	d, e, err := loadScaled(cfg, "toy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []core.Method{core.MethodRACA, core.MethodCPSVM} {
+		pr := paramsFor(cfg, m, e, 4, d.X.Rows())
+		if _, err := train(cfg, "toy", d.X, d.Y, pr); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+	}
+	if got := cfg.Reports.Len(); got != 2 {
+		t.Fatalf("sink holds %d reports, want 2", got)
+	}
+
+	var buf bytes.Buffer
+	if err := cfg.Reports.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var reps []*trace.Report
+	if err := json.Unmarshal(buf.Bytes(), &reps); err != nil {
+		t.Fatalf("sink output is not a JSON array: %v", err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("array holds %d reports, want 2", len(reps))
+	}
+	for i, r := range reps {
+		if r.Schema != trace.ReportSchema {
+			t.Fatalf("report %d schema %q, want %q", i, r.Schema, trace.ReportSchema)
+		}
+		if r.Dataset != "toy" || r.Iters <= 0 || len(r.Phases) == 0 || len(r.Metrics) == 0 {
+			t.Fatalf("report %d incomplete: dataset=%q iters=%d phases=%d metrics=%d",
+				i, r.Dataset, r.Iters, len(r.Phases), len(r.Metrics))
+		}
+	}
+}
+
+// TestReportSinkEmpty: an untouched sink still writes a valid (empty) array.
+func TestReportSinkEmpty(t *testing.T) {
+	var s ReportSink
+	if s.Len() != 0 {
+		t.Fatal("fresh sink not empty")
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var reps []*trace.Report
+	if err := json.Unmarshal(buf.Bytes(), &reps); err != nil {
+		t.Fatalf("empty sink output is not a JSON array: %v", err)
+	}
+	if len(reps) != 0 {
+		t.Fatalf("empty sink produced %d reports", len(reps))
+	}
+}
+
+// TestTrainWithoutSinkStaysUninstrumented: nil Reports must not attach any
+// observability sinks to the run.
+func TestTrainWithoutSinkStaysUninstrumented(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	d, e, err := loadScaled(cfg, "toy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := paramsFor(cfg, core.MethodRACA, e, 4, d.X.Rows())
+	out, err := train(cfg, "toy", d.X, d.Y, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.Iters <= 0 {
+		t.Fatal("training did not run")
+	}
+}

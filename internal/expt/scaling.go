@@ -43,7 +43,7 @@ func scalingTimes(cfg Config, mFor func(p int) int) (map[core.Method][]float64, 
 			return nil, err
 		}
 		for _, m := range sixMethods() {
-			out, err := core.Train(d.X, d.Y, paramsFor(cfg, m, e, p, 128000))
+			out, err := train(cfg, "epsilon", d.X, d.Y, paramsFor(cfg, m, e, p, 128000))
 			if err != nil {
 				return nil, fmt.Errorf("%s P=%d: %w", m, p, err)
 			}

@@ -86,7 +86,7 @@ func Table5(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	out, err := core.Train(d.X, d.Y, paramsFor(cfg, core.MethodCascade, e, cfg.P, d.M()))
+	out, err := train(cfg, "toy", d.X, d.Y, paramsFor(cfg, core.MethodCascade, e, cfg.P, d.M()))
 	if err != nil {
 		return err
 	}
@@ -130,7 +130,7 @@ func faceFCFSRun(cfg Config, ratio bool) (*core.Output, error) {
 	}
 	p := paramsFor(cfg, core.MethodFCFSCA, e, cfg.P, d.M())
 	p.RatioBalanced = ratio
-	return core.Train(d.X, d.Y, p)
+	return train(cfg, "face", d.X, d.Y, p)
 }
 
 func printLoadTable(cfg Config, out *core.Output) {
@@ -238,7 +238,7 @@ func commRun(cfg Config, dataset string) (map[core.Method]*core.Output, *data.Da
 	}
 	outs := map[core.Method]*core.Output{}
 	for _, m := range sixMethods() {
-		out, err := core.Train(d.X, d.Y, paramsFor(cfg, m, e, cfg.P, d.M()))
+		out, err := train(cfg, dataset, d.X, d.Y, paramsFor(cfg, m, e, cfg.P, d.M()))
 		if err != nil {
 			return nil, nil, data.Entry{}, fmt.Errorf("%s: %w", m, err)
 		}
@@ -338,7 +338,7 @@ func DatasetTable(name string) func(cfg Config) error {
 			"Method", "Accuracy", "Iterations", "Time (Init, Training)", "Speedup")
 		var base float64
 		for _, m := range core.Methods() {
-			out, err := core.Train(d.X, d.Y, paramsFor(cfg, m, e, cfg.P, d.M()))
+			out, err := train(cfg, name, d.X, d.Y, paramsFor(cfg, m, e, cfg.P, d.M()))
 			if err != nil {
 				return fmt.Errorf("%s: %w", m, err)
 			}

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"casvm/internal/la"
+	"casvm/internal/trace"
 )
 
 // RowCache is an LRU cache of kernel rows K(i, ·) over a fixed training
@@ -43,11 +44,20 @@ type RowCache struct {
 	// Stats.
 	hits, misses int64
 	flops        float64 // flops charged by misses
+
+	// rec, when non-nil, records a timeline span per miss (the
+	// kernel-row fill is the solver's dominant non-O(m) cost).
+	rec *trace.Recorder
 }
 
 // SetThreads lets cache misses compute rows with up to t goroutines
 // (kernel.RowParallel). 0 or 1 keeps the serial path.
 func (c *RowCache) SetThreads(t int) { c.threads = t }
+
+// SetRecorder attaches a timeline recorder; each cache miss then records a
+// "row-fill" span with its flop cost. A nil recorder (the default) keeps
+// the hit and miss paths allocation-free no-ops.
+func (c *RowCache) SetRecorder(rec *trace.Recorder) { c.rec = rec }
 
 // NewRowCache creates a cache over the given matrix holding at most
 // capacity rows (minimum 2, since SMO needs the high and low rows live at
@@ -138,7 +148,10 @@ func (c *RowCache) Row(i int) []float64 {
 	c.rowOf[s] = int32(i)
 	c.slotOf[i] = s
 	row := c.block[int(s)*c.m : int(s)*c.m+c.m]
-	c.flops += c.params.RowParallel(c.data, i, row, c.threads)
+	sp := c.rec.Begin(trace.CatKernel, "row-fill")
+	f := c.params.RowParallel(c.data, i, row, c.threads)
+	c.rec.EndFlops(sp, f)
+	c.flops += f
 	c.pushFront(s)
 	return row
 }

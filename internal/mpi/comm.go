@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"casvm/internal/la"
+	"casvm/internal/trace"
 )
 
 // Comm is one rank's handle onto the world: its identity, its virtual
@@ -14,10 +15,25 @@ type Comm struct {
 	world *World
 	rank  int
 	rng   *rand.Rand
+	rec   *trace.Recorder // per-rank span recorder; nil when no timeline
 
 	clock   float64 // virtual seconds
 	collSeq int     // collective sequence number; identical across ranks
 }
+
+// Recorder returns this rank's timeline recorder (nil without a timeline;
+// trace.Recorder methods are nil-safe, so callers record unconditionally).
+func (c *Comm) Recorder() *trace.Recorder { return c.rec }
+
+// beginColl opens a collective span carrying the current virtual clock.
+// With no timeline attached this is a nil-receiver no-op costing one
+// branch and zero allocations.
+func (c *Comm) beginColl(name string) trace.Span {
+	return c.rec.BeginVirt(trace.CatCollective, name, c.clock)
+}
+
+// endColl closes a collective span with the post-collective virtual clock.
+func (c *Comm) endColl(sp trace.Span) { c.rec.EndVirt(sp, c.clock) }
 
 // Rank returns this rank's id in [0, Size).
 func (c *Comm) Rank() int { return c.rank }
@@ -32,11 +48,12 @@ func (c *Comm) RNG() *rand.Rand { return c.rng }
 func (c *Comm) Clock() float64 { return c.clock }
 
 // Charge advances the virtual clock by the modeled time of f flops and
-// books it as computation.
+// books it as computation (and the flop count itself, for TotalFlops).
 func (c *Comm) Charge(flops float64) {
 	sec := c.world.machine.Compute(flops)
 	c.clock += sec
 	c.world.stats.AddComp(c.rank, sec)
+	c.world.stats.AddFlops(c.rank, flops)
 }
 
 // ChargeTime advances the virtual clock by sec seconds of computation
@@ -159,9 +176,11 @@ func (c *Comm) nextCollTag() int {
 // Barrier blocks until every rank has entered it. Implemented as a
 // binomial-tree gather of empty messages followed by a broadcast.
 func (c *Comm) Barrier() {
+	sp := c.beginColl("Barrier")
 	tag := c.nextCollTag()
 	c.treeGatherSignal(tag)
 	c.treeBcastBytes(0, tag, nil)
+	c.endColl(sp)
 }
 
 // treeGatherSignal performs a binomial-tree reduction of empty messages to
@@ -215,11 +234,14 @@ func (c *Comm) treeBcastBytes(root, tag int, data []byte) []byte {
 // Bcast broadcasts data from root to all ranks; every rank returns the
 // payload (the root returns its own argument).
 func (c *Comm) Bcast(root int, data []byte) []byte {
+	sp := c.beginColl("Bcast")
 	tag := c.nextCollTag()
 	if c.rank != root {
 		data = nil
 	}
-	return c.treeBcastBytes(root, tag, data)
+	data = c.treeBcastBytes(root, tag, data)
+	c.endColl(sp)
+	return data
 }
 
 // BcastF64 broadcasts a []float64 from root; all ranks return it.
@@ -239,6 +261,8 @@ func (c *Comm) BcastF64(root int, x []float64) []float64 {
 // Scatterv sends blocks[i] to rank i from root (linear scatter, as in MPI's
 // default for irregular block sizes); each rank returns its block.
 func (c *Comm) Scatterv(root int, blocks [][]byte) []byte {
+	sp := c.beginColl("Scatterv")
+	defer c.endColl(sp)
 	tag := c.nextCollTag()
 	if c.rank == root {
 		if len(blocks) != c.world.p {
@@ -257,6 +281,8 @@ func (c *Comm) Scatterv(root int, blocks [][]byte) []byte {
 // Gatherv collects each rank's data at root; root returns the P blocks in
 // rank order, others return nil.
 func (c *Comm) Gatherv(root int, data []byte) [][]byte {
+	sp := c.beginColl("Gatherv")
+	defer c.endColl(sp)
 	tag := c.nextCollTag()
 	if c.rank != root {
 		c.send(root, tag, data)
@@ -282,6 +308,8 @@ func (c *Comm) Alltoallv(blocks [][]byte) [][]byte {
 	if len(blocks) != p {
 		panic(fmt.Sprintf("mpi: Alltoallv needs %d blocks, got %d", p, len(blocks)))
 	}
+	sp := c.beginColl("Alltoallv")
+	defer c.endColl(sp)
 	tag := c.nextCollTag()
 	for dst := 0; dst < p; dst++ {
 		if dst != c.rank {
@@ -302,6 +330,8 @@ func (c *Comm) Alltoallv(blocks [][]byte) [][]byte {
 // Allgatherv gathers every rank's block on all ranks (gather + broadcast of
 // the concatenation with a length table).
 func (c *Comm) Allgatherv(data []byte) [][]byte {
+	sp := c.beginColl("Allgatherv")
+	defer c.endColl(sp)
 	blocks := c.Gatherv(0, data)
 	// Root flattens with a length header; everyone decodes.
 	var flat []byte

@@ -41,6 +41,8 @@ func (op reduceOp) apply(dst, src []float64) {
 // allreduce combines x across all ranks with op via a binomial-tree reduce
 // to rank 0 followed by a broadcast, charging the reduction flops.
 func (c *Comm) allreduce(x []float64, op reduceOp) []float64 {
+	sp := c.beginColl("Allreduce")
+	defer c.endColl(sp)
 	tag := c.nextCollTag()
 	p, r := c.world.p, c.rank
 	acc := append([]float64(nil), x...)
@@ -122,6 +124,8 @@ func decodeLoc(b []byte) Loc {
 // allreduceLoc reduces a Loc across ranks keeping the extreme value
 // (ties resolve to the lower rank for determinism).
 func (c *Comm) allreduceLoc(l Loc, better func(a, b Loc) bool) Loc {
+	sp := c.beginColl("AllreduceLoc")
+	defer c.endColl(sp)
 	tag := c.nextCollTag()
 	p, r := c.world.p, c.rank
 	acc := l

@@ -1,0 +1,59 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+
+	"casvm/internal/trace"
+)
+
+// Regression for the Stats comp/comm race: the per-rank time slots used to
+// be plain float64s readable only after the world join, but the degraded
+// completion path and live metric snapshots read them while rank goroutines
+// still charge time. Under -race this fails on any non-atomic access.
+func TestStatsReadableWhileWorldRuns(t *testing.T) {
+	w := testWorld(4)
+	w.SetTimeline(trace.NewTimeline(4))
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		s := w.Stats()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = s.MaxCompSec()
+			_ = s.MaxCommSec()
+			_ = s.CommRatio()
+			_ = s.TotalFlops()
+			_ = s.TotalBytes()
+			_ = s.LostRanks()
+		}
+	}()
+
+	boom := errors.New("rank 3 crashed")
+	err := runWithDeadline(t, w, func(c *Comm) error {
+		for i := 0; i < 200; i++ {
+			c.Charge(1000)
+			c.AllreduceSum([]float64{float64(c.Rank()), 1})
+			if c.Rank() == 3 && i == 100 {
+				return boom // leaves survivors' stats live past the failure
+			}
+		}
+		return nil
+	})
+	close(stop)
+	<-readerDone
+
+	if !errors.Is(err, boom) {
+		t.Fatalf("want the injected crash, got %v", err)
+	}
+	// After the join the survivors' charges must all be visible.
+	s := w.Stats()
+	if s.TotalFlops() == 0 || s.MaxCompSec() == 0 {
+		t.Fatal("charged time/flops lost")
+	}
+}

@@ -145,6 +145,7 @@ type World struct {
 	boxes   []*mailbox
 	seed    int64
 	hook    TransportHook
+	tl      *trace.Timeline
 
 	abortOnce   sync.Once
 	finalClocks clockBoard
@@ -153,6 +154,16 @@ type World struct {
 // SetTransportHook installs a fault-injection hook intercepting every
 // remote transfer. Call it before Run; the hook must be concurrency-safe.
 func (w *World) SetTransportHook(h TransportHook) { w.hook = h }
+
+// SetTimeline attaches a span timeline: every collective records a
+// per-rank span carrying wall and virtual time, and rank failures record
+// instant fault events. Call it before Run with a timeline sized to the
+// world; nil (the default) keeps every instrumentation site on its
+// zero-cost path.
+func (w *World) SetTimeline(tl *trace.Timeline) { w.tl = tl }
+
+// Timeline returns the attached timeline (nil when none).
+func (w *World) Timeline() *trace.Timeline { return w.tl }
 
 // NewWorld creates a world of p ranks with the given machine model and RNG
 // seed (each rank derives its own deterministic stream).
@@ -213,9 +224,11 @@ func (w *World) Run(f func(c *Comm) error) error {
 						// can elect degraded-mode completion.
 						errs[rank] = err
 						w.stats.RecordLost(rank)
+						w.tl.Rank(rank).Instant(trace.CatFault, "rank-crashed")
 					default:
 						errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
 						w.stats.RecordLost(rank)
+						w.tl.Rank(rank).Instant(trace.CatFault, "rank-panicked")
 					}
 					w.abort()
 				}
@@ -224,6 +237,7 @@ func (w *World) Run(f func(c *Comm) error) error {
 				world: w,
 				rank:  rank,
 				rng:   rand.New(rand.NewSource(w.seed*1000003 + int64(rank))),
+				rec:   w.tl.Rank(rank),
 			}
 			err := f(c)
 			w.finalClocks.set(rank, c.clock)
@@ -231,6 +245,7 @@ func (w *World) Run(f func(c *Comm) error) error {
 				errs[rank] = err
 				if !errors.Is(err, ErrAborted) {
 					w.stats.RecordLost(rank)
+					w.tl.Rank(rank).Instant(trace.CatFault, "rank-failed")
 				}
 				w.abort()
 			}

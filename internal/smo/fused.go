@@ -27,6 +27,8 @@ package smo
 
 import (
 	"math"
+
+	"casvm/internal/trace"
 )
 
 // scanGrain is the minimum number of f-elements per chunk worth handing
@@ -225,6 +227,8 @@ func (s *Solver) fusedActive(act []int, rh, rl []float64, ch, cl float64) extrem
 // LocalExtremes charges on consumption. Must be called after PairDeltas
 // (alpha already holds the pair's new values).
 func (s *Solver) fusedUpdateScan(iHigh, iLow int, u PairUpdate) {
+	sp := s.rec.Begin(trace.CatSolver, "update")
+	defer s.rec.End(sp)
 	ch := u.DAlphaHigh * s.y[iHigh]
 	cl := u.DAlphaLow * s.y[iLow]
 	rh := s.cache.Row(iHigh)

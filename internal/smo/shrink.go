@@ -1,5 +1,7 @@
 package smo
 
+import "casvm/internal/trace"
+
 // Shrinking (LIBSVM-style active-set reduction). Samples whose multiplier
 // sits at a box bound and whose optimality value f_i says they cannot
 // re-enter the working set are temporarily dropped from the scans and
@@ -52,6 +54,8 @@ func (s *Solver) shrinkable(i int, bHigh, bLow float64) bool {
 
 // shrink drops currently shrinkable samples from the active set.
 func (s *Solver) shrink() {
+	sp := s.rec.Begin(trace.CatSolver, "shrink")
+	defer s.rec.End(sp)
 	bHigh, iHigh, bLow, iLow := s.LocalExtremes()
 	if iHigh < 0 || iLow < 0 {
 		return
@@ -82,6 +86,8 @@ func (s *Solver) reconstructAndActivate() {
 	if !s.shrunk {
 		return
 	}
+	sp := s.rec.Begin(trace.CatSolver, "reconstruct")
+	defer s.rec.End(sp)
 	s.invalidateExtremes()
 	m := len(s.y)
 	inactive := make([]bool, m)

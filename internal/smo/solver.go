@@ -18,6 +18,7 @@ import (
 	"casvm/internal/kernel"
 	"casvm/internal/la"
 	"casvm/internal/pool"
+	"casvm/internal/trace"
 )
 
 // Config carries the solver hyper-parameters.
@@ -65,6 +66,14 @@ type Config struct {
 	// error. Fault injection uses it to crash a rank at iteration k even
 	// in training phases that never touch the network.
 	Interrupt func(iter int) error
+	// Trace, when non-nil, records per-phase timeline spans (scan, update,
+	// shrink, kernel-row fills) into the rank's recorder. Nil — the
+	// default — keeps every instrumentation site on the zero-allocation
+	// nil-receiver fast path; results are identical either way.
+	Trace *trace.Recorder
+	// Metrics, when non-nil, receives solver counters at the end of Solve
+	// (iterations, row-cache hits/misses). Nil records nothing.
+	Metrics *trace.Registry
 }
 
 func (c Config) posWeight() float64 {
@@ -137,6 +146,10 @@ type Solver struct {
 	pl        *pool.Pool
 	chunkExt  []extremes
 	chunkGain []gain
+
+	// rec mirrors cfg.Trace for the hot paths; nil means every span call
+	// is a single-branch no-op.
+	rec *trace.Recorder
 }
 
 // New prepares a solver for the given samples and ±1 labels, optionally
@@ -176,8 +189,10 @@ func New(x *la.Matrix, y []float64, cfg Config, warm []float64) (*Solver, error)
 		alpha: make([]float64, m),
 		f:     make([]float64, m),
 		cache: kernel.NewRowCache(cfg.Kernel, x, cacheRows),
+		rec:   cfg.Trace,
 	}
 	s.cache.SetThreads(cfg.Threads)
+	s.cache.SetRecorder(cfg.Trace)
 	if cfg.Threads > 1 {
 		s.pl = pool.Shared()
 		s.chunkExt = make([]extremes, cfg.Threads)
@@ -265,7 +280,9 @@ func (s *Solver) LocalExtremes() (bHigh float64, iHigh int, bLow float64, iLow i
 		n = len(s.active)
 	}
 	if !s.extValid {
+		sp := s.rec.Begin(trace.CatSolver, "scan")
 		s.setExtremes(s.scanExtremes())
+		s.rec.EndFlops(sp, float64(2*n))
 	}
 	s.flops += float64(2 * n)
 	return s.ext.bHigh, s.ext.iHigh, s.ext.bLow, s.ext.iLow
@@ -358,6 +375,8 @@ func (s *Solver) snapTo(a, c float64) float64 {
 // shrinking is enabled (shrunk entries are reconstructed later).
 func (s *Solver) UpdateF(iHigh, iLow int, u PairUpdate) {
 	s.invalidateExtremes()
+	sp := s.rec.Begin(trace.CatSolver, "update")
+	defer s.rec.End(sp)
 	if s.cfg.Shrinking && len(s.active) > 0 && s.shrunk {
 		ch := u.DAlphaHigh * s.y[iHigh]
 		cl := u.DAlphaLow * s.y[iLow]
@@ -506,6 +525,7 @@ func Solve(x *la.Matrix, y []float64, cfg Config, warm []float64) (*Result, erro
 		}
 	}
 	b := s.Bias()
+	s.recordMetrics()
 	return &Result{
 		Alpha:     s.alpha,
 		B:         b,
@@ -513,4 +533,18 @@ func Solve(x *la.Matrix, y []float64, cfg Config, warm []float64) (*Result, erro
 		Flops:     s.TakeFlops(),
 		Converged: converged,
 	}, nil
+}
+
+// recordMetrics publishes end-of-solve counters (iterations, row-cache
+// hits/misses — the hit rate is their ratio) into cfg.Metrics; a nil
+// registry records nothing.
+func (s *Solver) recordMetrics() {
+	reg := s.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	hits, misses, _ := s.cache.Stats()
+	reg.Counter("smo_iterations_total", "SMO iterations executed").Add(int64(s.iters))
+	reg.Counter("smo_row_cache_hits_total", "kernel row-cache hits").Add(hits)
+	reg.Counter("smo_row_cache_misses_total", "kernel row-cache misses").Add(misses)
 }

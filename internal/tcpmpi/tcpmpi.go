@@ -36,6 +36,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"casvm/internal/trace"
 )
 
 // DialTimeout is the default bound on connection establishment
@@ -88,6 +90,12 @@ type Options struct {
 	// DisableReconnect declares a rank dead on the first connection
 	// failure instead of allowing the single reconnect attempt.
 	DisableReconnect bool
+
+	// Metrics, when non-nil, receives transport health counters and the
+	// heartbeat-gap histogram (time between keepalives actually observed
+	// per peer — the silence detector's input). Nil records nothing and
+	// keeps the hot paths allocation-free.
+	Metrics *trace.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -164,6 +172,14 @@ type Comm struct {
 	doneOnce sync.Once
 
 	collSeq int
+
+	// Metric handles resolved once at Dial; all nil (no-op) without a
+	// registry in Options.Metrics.
+	mHBGap      *trace.Histogram // observed gap between keepalives, seconds
+	mReconnects *trace.Counter   // successful connection replacements
+	mRetries    *trace.Counter   // send attempts that had to be retried
+	mPeerDead   *trace.Counter   // peers declared dead
+	mSentBytes  *trace.Counter   // data payload bytes written (excl. retries' duplicates)
 }
 
 type message struct {
@@ -197,6 +213,19 @@ func DialOptions(rank int, addrs []string, opt Options) (*Comm, error) {
 	c.cond = sync.NewCond(&c.mu)
 	for r := range c.peers {
 		c.peers[r] = &peer{}
+	}
+	if reg := c.opt.Metrics; reg != nil {
+		c.mHBGap = reg.Histogram("tcpmpi_heartbeat_gap_seconds",
+			"Observed gap between keepalives per peer connection.",
+			trace.ExpBuckets(0.001, 4, 8))
+		c.mReconnects = reg.Counter("tcpmpi_reconnects_total",
+			"Connections successfully replaced after a failure.")
+		c.mRetries = reg.Counter("tcpmpi_send_retries_total",
+			"Send attempts that failed and were retried.")
+		c.mPeerDead = reg.Counter("tcpmpi_peer_failures_total",
+			"Peers declared dead after recovery failed.")
+		c.mSentBytes = reg.Counter("tcpmpi_sent_bytes_total",
+			"Data payload bytes handed to Send.")
 	}
 	if size == 1 {
 		return c, nil
@@ -428,10 +457,15 @@ func (c *Comm) readLoop(src int, conn net.Conn, gen int) {
 			c.peerBroken(src, gen, fmt.Errorf("tcpmpi: read from rank %d: %w", src, err))
 			return
 		}
-		p.touch()
 		if tag == hbTag {
+			p.mu.Lock()
+			gap := time.Since(p.lastSeen)
+			p.lastSeen = time.Now()
+			p.mu.Unlock()
+			c.mHBGap.Observe(gap.Seconds())
 			continue
 		}
+		p.touch()
 		if seq != 0 {
 			// Drop frames replayed by a send retry across a reconnect.
 			p.mu.Lock()
@@ -493,6 +527,7 @@ func (c *Comm) recoverPeer(src, gen int, cause error) {
 			return
 		}
 		c.installConn(src, conn)
+		c.mReconnects.Add(1)
 		return
 	}
 	// The peer dialed us: wait for it to re-dial within the detection
@@ -509,6 +544,7 @@ func (c *Comm) recoverPeer(src, gen int, cause error) {
 		recovered := p.gen > gen && !p.broken
 		p.mu.Unlock()
 		if recovered {
+			c.mReconnects.Add(1)
 			return
 		}
 	}
@@ -573,10 +609,15 @@ func (c *Comm) writeFrame(p *peer, conn net.Conn, tag int, seq uint32, data []by
 // poison unrelated traffic.
 func (c *Comm) fail(src int, err error) {
 	c.mu.Lock()
+	fresh := false
 	if _, ok := c.dead[src]; !ok {
 		c.dead[src] = err
+		fresh = true
 	}
 	c.mu.Unlock()
+	if fresh {
+		c.mPeerDead.Add(1)
+	}
 	c.cond.Broadcast()
 }
 
@@ -608,6 +649,7 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 		c.queues[dst] = append(c.queues[dst], message{tag: tag, data: append([]byte(nil), data...)})
 		c.mu.Unlock()
 		c.cond.Broadcast()
+		c.mSentBytes.Add(int64(len(data)))
 		return nil
 	}
 	p := c.peers[dst]
@@ -635,11 +677,13 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 			lastErr = err
 			c.peerBroken(dst, gen, fmt.Errorf("tcpmpi: write to rank %d: %w", dst, err))
 		} else {
+			c.mSentBytes.Add(int64(len(data)))
 			return nil
 		}
 		if attempt == c.opt.Retries {
 			break
 		}
+		c.mRetries.Add(1)
 		select {
 		case <-c.done:
 			return errors.New("tcpmpi: closed")

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The Chrome trace_event JSON object format, as consumed by
+// chrome://tracing and Perfetto's legacy importer: a top-level object with
+// a "traceEvents" array of events. Each rank renders as one thread
+// (tid = rank) of a single process, named via "M" metadata events; spans
+// are "X" (complete) events with microsecond timestamps, instants are "i".
+// Virtual-clock seconds and modeled flops ride along in "args", where both
+// viewers display them in the selection panel.
+
+// chromeEvent is one trace_event entry.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant scope: "t" = thread
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes the timeline as Chrome trace_event JSON.
+// Timestamps are rebased so the earliest event starts at t=0, keeping the
+// viewer's time axis readable.
+func (t *Timeline) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	var base int64
+	if len(events) > 0 {
+		base = events[0].WallStartNs
+	}
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	seen := map[int]bool{}
+	for _, e := range events {
+		if !seen[e.Rank] {
+			seen[e.Rank] = true
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 0, Tid: e.Rank,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", e.Rank)},
+			})
+		}
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  e.Cat,
+			Ts:   float64(e.WallStartNs-base) / 1e3,
+			Pid:  0,
+			Tid:  e.Rank,
+		}
+		if e.Instant {
+			ce.Ph = "i"
+			ce.Scope = "t"
+		} else {
+			ce.Ph = "X"
+			ce.Dur = float64(e.WallDurNs) / 1e3
+			args := map[string]any{}
+			if e.VirtDurSec != 0 || e.VirtStartSec != 0 {
+				args["virt_start_s"] = e.VirtStartSec
+				args["virt_dur_s"] = e.VirtDurSec
+			}
+			if e.Flops != 0 {
+				args["flops"] = e.Flops
+			}
+			if len(args) > 0 {
+				ce.Args = args
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRunReportRoundTrip asserts the report parser never panics on arbitrary
+// input, and that whatever it accepts survives a write→read round trip
+// unchanged (the strict-schema guarantee downstream tooling relies on). Run
+// with `go test -fuzz FuzzRunReportRoundTrip ./internal/trace` for extended
+// exploration; the seed corpus runs in normal test mode.
+func FuzzRunReportRoundTrip(f *testing.F) {
+	var full bytes.Buffer
+	if err := sampleReport().WriteJSON(&full); err != nil {
+		f.Fatal(err)
+	}
+	seeds := []string{
+		"",
+		"{}",
+		"null",
+		`{"schema":"casvm.report/v1"}`,
+		`{"schema":"casvm.report/v0"}`,
+		`{"schema":"casvm.report/v1","p":-1,"iters":9e999}`,
+		`{"schema":"casvm.report/v1","comm_matrix":[[1,2],[3]]}`,
+		`{"schema":"casvm.report/v1","metrics":{"a":1.5}}`,
+		`{"schema":"casvm.report/v1","phases":[{"cat":"solver","name":"scan","count":1,"wall_sec":0.1,"virt_sec":0}]}`,
+		full.String(),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		r, err := ReadReport(strings.NewReader(in))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted report failed to serialize: %v", err)
+		}
+		first := buf.String()
+		r2, err := ReadReport(strings.NewReader(first))
+		if err != nil {
+			t.Fatalf("our own output was rejected: %v\n%s", err, first)
+		}
+		var buf2 bytes.Buffer
+		if err := r2.WriteJSON(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if first != buf2.String() {
+			t.Fatalf("round trip not stable:\nfirst  %s\nsecond %s", first, buf2.String())
+		}
+	})
+}

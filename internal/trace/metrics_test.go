@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter=%d", c.Value())
+	}
+	if reg.Counter("ops_total", "ops") != c {
+		t.Fatal("counter resolution must be idempotent")
+	}
+
+	g := reg.Gauge("temp", "t")
+	g.Set(1.5)
+	g.Add(-0.5)
+	if g.Value() != 1.0 {
+		t.Fatalf("gauge=%v", g.Value())
+	}
+
+	h := reg.Histogram("lat_seconds", "l", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("hist count=%d", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Fatalf("hist sum=%v", h.Sum())
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 3 || len(counts) != 4 {
+		t.Fatalf("buckets: %v / %v", bounds, counts)
+	}
+	want := []int64{1, 2, 1, 1}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d=%d, want %d", i, c, want[i])
+		}
+	}
+}
+
+func TestHistogramBoundaryGoesToLowerBucket(t *testing.T) {
+	h := NewRegistry().Histogram("h", "", []float64{1, 2})
+	h.Observe(1) // exactly on the bound: counts as ≤1
+	_, counts := h.Buckets()
+	if counts[0] != 1 {
+		t.Fatalf("boundary sample landed in %v", counts)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	if len(b) != 4 {
+		t.Fatalf("len=%d", len(b))
+	}
+	for i := range b {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Fatalf("bucket %d=%v, want %v", i, b[i], want[i])
+		}
+	}
+	if got := ExpBuckets(0, 2, 3); len(got) != 1 {
+		t.Fatalf("degenerate input should give one bucket, got %v", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering x as a gauge must panic")
+		}
+	}()
+	reg.Gauge("x", "")
+}
+
+func TestNilRegistryAndHandles(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("a", "")
+	g := reg.Gauge("b", "")
+	h := reg.Histogram("c", "", []float64{1})
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	// All nil-handle updates are no-ops and allocation-free.
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		g.Add(1)
+		h.Observe(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil metric handles allocated %.1f/op, want 0", allocs)
+	}
+	if err := reg.WriteProm(nil); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Snapshot() != nil || reg.String() != "" {
+		t.Fatal("nil registry output must be empty")
+	}
+	if err := reg.Publish("never"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("casvm_ops_total", "Total ops.").Add(7)
+	reg.Gauge("casvm_ratio", "A ratio.").Set(0.25)
+	h := reg.Histogram("casvm_lat_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP casvm_ops_total Total ops.",
+		"# TYPE casvm_ops_total counter",
+		"casvm_ops_total 7",
+		"# TYPE casvm_ratio gauge",
+		"casvm_ratio 0.25",
+		"# TYPE casvm_lat_seconds histogram",
+		`casvm_lat_seconds_bucket{le="0.1"} 1`,
+		`casvm_lat_seconds_bucket{le="1"} 2`,
+		`casvm_lat_seconds_bucket{le="+Inf"} 3`,
+		"casvm_lat_seconds_sum 5.55",
+		"casvm_lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotAndString(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "").Add(2)
+	reg.Gauge("b", "").Set(3.5)
+	h := reg.Histogram("c_seconds", "", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+
+	snap := reg.Snapshot()
+	if snap["a_total"] != 2 || snap["b"] != 3.5 {
+		t.Fatalf("snapshot: %v", snap)
+	}
+	if snap["c_seconds_count"] != 2 || snap["c_seconds_sum"] != 2.5 {
+		t.Fatalf("snapshot histogram: %v", snap)
+	}
+	s := reg.String()
+	if !strings.Contains(s, "a_total=2") || !strings.Contains(s, "b=3.5") {
+		t.Fatalf("String(): %q", s)
+	}
+}
+
+// publishOnce guards the first Publish: expvar registration is
+// process-global, and `go test -cpu 1,4` runs this test twice in one
+// process.
+var publishOnce sync.Once
+
+func TestPublishRejectsDuplicates(t *testing.T) {
+	publishOnce.Do(func() {
+		reg := NewRegistry()
+		reg.Counter("x_total", "").Inc()
+		if err := reg.Publish("trace_test_metrics"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err := NewRegistry().Publish("trace_test_metrics"); err == nil {
+		t.Fatal("second Publish under the same name must error, not panic")
+	}
+}
+
+func TestConcurrentMetricUpdates(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("n_total", "")
+			h := reg.Histogram("h_seconds", "", []float64{1, 10})
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 20))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("n_total", "").Value(); got != 8000 {
+		t.Fatalf("lost counter updates: %d", got)
+	}
+	if got := reg.Histogram("h_seconds", "", nil).Count(); got != 8000 {
+		t.Fatalf("lost observations: %d", got)
+	}
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReportSchema identifies the run-report JSON layout; bump it when a field
+// changes meaning.
+const ReportSchema = "casvm.report/v1"
+
+// MachineInfo records the α–β machine constants a run was modeled with
+// (perfmodel.Machine, flattened so this package needs no import).
+type MachineInfo struct {
+	TcSec float64 `json:"tc_sec"` // seconds per flop
+	TsSec float64 `json:"ts_sec"` // message startup
+	TwSec float64 `json:"tw_sec"` // per-4-byte-word transfer
+}
+
+// SolverInfo records the hyper-parameters of a run.
+type SolverInfo struct {
+	C         float64 `json:"c"`
+	Tol       float64 `json:"tol"`
+	Kernel    string  `json:"kernel"`
+	Gamma     float64 `json:"gamma,omitempty"`
+	PosWeight float64 `json:"pos_weight,omitempty"`
+}
+
+// Report is the structured, machine-readable summary of one training run:
+// what ran, on what modeled machine, how the time split across phases,
+// what moved over the network, what failed, and what came out. It is what
+// `casvm-train -report out.json` writes and what downstream tooling
+// (dashboards, regression tracking) consumes.
+type Report struct {
+	Schema  string `json:"schema"`
+	Method  string `json:"method"`
+	Dataset string `json:"dataset,omitempty"`
+	P       int    `json:"p"`
+	Threads int    `json:"threads,omitempty"`
+	Seed    int64  `json:"seed"`
+
+	Machine MachineInfo `json:"machine"`
+	Solver  SolverInfo  `json:"solver"`
+
+	// Outcome.
+	Iters      int     `json:"iters"`
+	SVs        int     `json:"svs"`
+	TotalFlops float64 `json:"total_flops"`
+	Accuracy   float64 `json:"accuracy,omitempty"`
+	ModelHash  string  `json:"model_hash,omitempty"`
+
+	// Time split (virtual α–β seconds, plus real wall time).
+	InitSec  float64 `json:"init_sec"`
+	TrainSec float64 `json:"train_sec"`
+	TotalSec float64 `json:"total_sec"`
+	WallSec  float64 `json:"wall_sec"`
+	CompSec  float64 `json:"comp_sec"`
+	CommSec  float64 `json:"comm_sec"`
+
+	// Communication (Fig 8 / Table XI).
+	CommBytes  int64     `json:"comm_bytes"`
+	CommOps    int64     `json:"comm_ops"`
+	CommMatrix [][]int64 `json:"comm_matrix,omitempty"`
+
+	// Per-phase split aggregated from the timeline (empty when no
+	// timeline was attached).
+	Phases          []PhaseStat `json:"phases,omitempty"`
+	TimelineEvents  int         `json:"timeline_events,omitempty"`
+	TimelineDropped int64       `json:"timeline_dropped,omitempty"`
+
+	// Failures.
+	LostRanks []int `json:"lost_ranks,omitempty"`
+	Degraded  bool  `json:"degraded,omitempty"`
+
+	// Flattened metrics snapshot (Registry.Snapshot), when metrics were
+	// attached.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// AttachTimeline fills the report's phase aggregation from tl (no-op for a
+// nil timeline).
+func (r *Report) AttachTimeline(tl *Timeline) {
+	if tl == nil {
+		return
+	}
+	r.Phases = tl.PhaseStats()
+	r.TimelineEvents = len(tl.Events())
+	r.TimelineDropped = tl.Dropped()
+}
+
+// AttachMetrics embeds a registry snapshot (no-op for nil).
+func (r *Report) AttachMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	r.Metrics = reg.Snapshot()
+}
+
+// WriteJSON serializes the report, indented, stamping the schema id.
+func (r *Report) WriteJSON(w io.Writer) error {
+	r.Schema = ReportSchema
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a report written by WriteJSON, rejecting unknown
+// fields and schema mismatches so drift fails loudly.
+func ReadReport(rd io.Reader) (*Report, error) {
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("trace: bad report: %w", err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("trace: report schema %q, want %q", r.Schema, ReportSchema)
+	}
+	return &r, nil
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+// Regression for the comp/comm slot race: the time and flop slots were
+// plain float64s with a read-only-after-join contract, but the degraded
+// completion path (and live metrics snapshots) read them while rank
+// goroutines are still charging time. Under -race this test fails on any
+// non-atomic slot access; without -race it still checks nothing is lost
+// when each slot keeps a single writer.
+func TestStatsLiveReadersDuringRun(t *testing.T) {
+	s := NewStats(4)
+	const perRank = 2000
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+
+	// A live reader polling the aggregate views mid-run, like a degraded
+	// completion inspecting a half-finished world.
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = s.MaxCompSec()
+			_ = s.MaxCommSec()
+			_ = s.CommRatio()
+			_ = s.TotalFlops()
+			_ = s.LostRanks()
+			_ = s.Matrix()
+		}
+	}()
+
+	var writers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		writers.Add(1)
+		go func(r int) {
+			defer writers.Done()
+			for i := 0; i < perRank; i++ {
+				s.AddComp(r, 0.001)
+				s.AddComm(r, 0.0005)
+				s.AddFlops(r, 10)
+				s.RecordSend(r, (r+1)%4, 8)
+			}
+			if r == 3 {
+				s.RecordLost(r)
+			}
+		}(r)
+	}
+	writers.Wait()
+	close(stop)
+	<-readerDone
+
+	if got := s.TotalFlops(); got != 4*perRank*10 {
+		t.Fatalf("TotalFlops=%v, want %v", got, 4*perRank*10)
+	}
+	wantSec := perRank * 0.001
+	for r := 0; r < 4; r++ {
+		if got := s.CompSec(r); got < wantSec*0.999 || got > wantSec*1.001 {
+			t.Fatalf("rank %d CompSec=%v, want ≈%v", r, got, wantSec)
+		}
+	}
+	if lost := s.LostRanks(); len(lost) != 1 || lost[0] != 3 {
+		t.Fatalf("LostRanks=%v", lost)
+	}
+}
+
+func TestAtomicFloatStoreLoad(t *testing.T) {
+	var a atomicFloat
+	a.Store(2.5)
+	if a.Load() != 2.5 {
+		t.Fatal("store/load")
+	}
+	a.Add(-1.25)
+	if a.Load() != 1.25 {
+		t.Fatal("add")
+	}
+}

@@ -1,29 +1,67 @@
-// Package trace collects the communication and time statistics the paper
-// reports: the P×P point-to-point byte matrix of Fig 8, the operation
-// counts and volume-per-operation of Table XI, and the per-rank
-// computation/communication virtual-time split of Fig 9.
+// Package trace is the observability layer of the runtime. It collects the
+// communication and time statistics the paper reports — the P×P
+// point-to-point byte matrix of Fig 8, the operation counts and
+// volume-per-operation of Table XI, and the per-rank computation /
+// communication virtual-time split of Fig 9 — and grows them into a full
+// instrumentation subsystem:
 //
-// Senders record each transfer; counters are atomic so any rank goroutine
-// may record concurrently.
+//   - Stats: atomic aggregate counters (bytes, ops, comp/comm virtual
+//     time, flops, lost ranks), safe to read live while ranks run.
+//   - Timeline/Recorder: per-rank span events (solver phases, collectives)
+//     carrying wall and virtual time, exportable to Chrome trace_event
+//     JSON for chrome://tracing and Perfetto (chrometrace.go).
+//   - Registry: counters, gauges and fixed-bucket histograms with expvar
+//     and Prometheus-style text exposition (metrics.go).
+//   - Report: a structured machine-readable run summary (report.go).
+//
+// Everything is designed around a nil-sink fast path: a nil *Timeline,
+// *Recorder, *Registry, *Counter, *Gauge or *Histogram turns every
+// recording call into a cheap nil-check no-op with zero allocations, so
+// instrumented hot paths cost nothing when observability is off.
 package trace
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"sync/atomic"
 )
 
+// atomicFloat is a float64 with atomic add/load, stored as raw bits. Each
+// accumulation site is owned by one goroutine almost all of the time, so
+// the CAS loop virtually never spins.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat) Add(v float64) {
+	for {
+		old := a.bits.Load()
+		if a.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloat) Load() float64 { return math.Float64frombits(a.bits.Load()) }
+
+func (a *atomicFloat) Store(v float64) { a.bits.Store(math.Float64bits(v)) }
+
 // Stats accumulates communication statistics for one world of P ranks.
+// Every slot is atomic, so Stats may be read at any time — including while
+// rank goroutines are still running (live dashboards, metrics snapshots,
+// and the degraded-mode completion path, which can inspect statistics
+// for ranks that have crashed while survivors keep training).
 type Stats struct {
 	p     int
 	bytes []atomic.Int64 // p×p matrix, row = sender, col = receiver
 	ops   []atomic.Int64 // p×p matrix of message counts
 
-	// Virtual time per rank, split by phase. Each slot is written only by
-	// its owning rank goroutine; the World join provides the
-	// happens-before edge for readers.
-	compSec []float64
-	commSec []float64
+	// Virtual time per rank, split by phase, plus the modeled flop count
+	// behind the computation time. Written by the owning rank goroutine,
+	// atomically, so concurrent readers see a coherent (if slightly stale)
+	// value instead of a data race.
+	compSec []atomicFloat
+	commSec []atomicFloat
+	flops   []atomicFloat
 
 	// lost marks ranks that failed (crashed or errored) during the run —
 	// the shards a degraded-mode completion proceeds without.
@@ -36,8 +74,9 @@ func NewStats(p int) *Stats {
 		p:       p,
 		bytes:   make([]atomic.Int64, p*p),
 		ops:     make([]atomic.Int64, p*p),
-		compSec: make([]float64, p),
-		commSec: make([]float64, p),
+		compSec: make([]atomicFloat, p),
+		commSec: make([]atomicFloat, p),
+		flops:   make([]atomicFloat, p),
 		lost:    make([]atomic.Bool, p),
 	}
 }
@@ -83,16 +122,35 @@ func (s *Stats) Lost(rank int) bool {
 }
 
 // AddComp charges sec seconds of computation virtual time to rank.
-func (s *Stats) AddComp(rank int, sec float64) { s.compSec[rank] += sec }
+func (s *Stats) AddComp(rank int, sec float64) { s.compSec[rank].Add(sec) }
 
 // AddComm charges sec seconds of communication virtual time to rank.
-func (s *Stats) AddComm(rank int, sec float64) { s.commSec[rank] += sec }
+func (s *Stats) AddComm(rank int, sec float64) { s.commSec[rank].Add(sec) }
+
+// AddFlops books f modeled floating-point operations to rank. The mpi
+// layer calls it alongside AddComp whenever computation is charged from a
+// flop count, so TotalFlops reproduces the analytic work term.
+func (s *Stats) AddFlops(rank int, f float64) { s.flops[rank].Add(f) }
 
 // CompSec returns rank's accumulated computation virtual time.
-func (s *Stats) CompSec(rank int) float64 { return s.compSec[rank] }
+func (s *Stats) CompSec(rank int) float64 { return s.compSec[rank].Load() }
 
 // CommSec returns rank's accumulated communication virtual time.
-func (s *Stats) CommSec(rank int) float64 { return s.commSec[rank] }
+func (s *Stats) CommSec(rank int) float64 { return s.commSec[rank].Load() }
+
+// Flops returns rank's accumulated modeled flop count.
+func (s *Stats) Flops(rank int) float64 { return s.flops[rank].Load() }
+
+// TotalFlops returns the summed modeled flop count over all ranks. Flop
+// accounting is deterministic (thread-count-invariant), so this is a
+// reproducibility fingerprint of a run.
+func (s *Stats) TotalFlops() float64 {
+	var t float64
+	for r := range s.flops {
+		t += s.flops[r].Load()
+	}
+	return t
+}
 
 // Bytes returns the bytes sent from src to dst.
 func (s *Stats) Bytes(src, dst int) int64 { return s.bytes[src*s.p+dst].Load() }
@@ -144,8 +202,8 @@ func (s *Stats) BytesPerOp() float64 {
 // critical-path compute term.
 func (s *Stats) MaxCompSec() float64 {
 	var m float64
-	for _, v := range s.compSec {
-		if v > m {
+	for r := range s.compSec {
+		if v := s.compSec[r].Load(); v > m {
 			m = v
 		}
 	}
@@ -155,8 +213,8 @@ func (s *Stats) MaxCompSec() float64 {
 // MaxCommSec returns the largest per-rank communication time.
 func (s *Stats) MaxCommSec() float64 {
 	var m float64
-	for _, v := range s.commSec {
-		if v > m {
+	for r := range s.commSec {
+		if v := s.commSec[r].Load(); v > m {
 			m = v
 		}
 	}
