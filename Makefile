@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-matrix vet check fuzz fuzz-smoke bench cover
+.PHONY: build test race race-matrix vet check fuzz fuzz-smoke bench bench-e2e bench-diff serve-smoke cover
 
 build:
 	$(GO) build ./...
@@ -26,10 +26,15 @@ race-matrix:
 fuzz-smoke:
 	$(GO) test -run 'Fuzz' ./internal/data ./internal/tcpmpi ./internal/trace
 
+# serve-smoke boots the live telemetry server against a real training run
+# held mid-flight and scrapes /metrics, /report, /events and /debug/pprof.
+serve-smoke:
+	$(GO) test -race -count=1 -run TestServeSmoke ./internal/telemetry
+
 # check is the full verification gate: vet, the whole suite under the race
 # detector, the 1/4-CPU race matrix over the concurrency-heavy packages,
-# and the fuzz seed corpora.
-check: vet race race-matrix fuzz-smoke
+# the fuzz seed corpora, and the live-server smoke run.
+check: vet race race-matrix fuzz-smoke serve-smoke
 
 # bench runs the SMO hot-path benchmark suite at 1 and 4 threads and
 # records ns/op + allocs/op in BENCH_smo.json (via cmd/benchjson).
@@ -41,6 +46,27 @@ bench:
 		-benchmem -cpu 1,4 | $(GO) run ./cmd/benchjson > BENCH_smo.json
 	@echo wrote BENCH_smo.json
 
+# bench-e2e records the end-to-end training benchmarks (the root-package
+# ablation suite) in BENCH_e2e.json — the committed baseline bench-diff
+# gates against. One iteration each: the modeled work is deterministic,
+# and the diff threshold absorbs wall-clock noise.
+bench-e2e:
+	$(GO) test . -run '^$$' -bench BenchmarkAblation -benchmem -benchtime 1x \
+		| $(GO) run ./cmd/benchjson > BENCH_e2e.json
+	@echo wrote BENCH_e2e.json
+
+# bench-diff re-runs the e2e suite and exits nonzero when any benchmark's
+# ns/op regressed past the threshold ratio against the committed baseline
+# (0.5 = 50%, generous because single-iteration wall timings are noisy —
+# algorithmic regressions are far larger).
+BENCH_DIFF_THRESHOLD ?= 0.5
+bench-diff:
+	$(GO) test . -run '^$$' -bench BenchmarkAblation -benchmem -benchtime 1x \
+		| $(GO) run ./cmd/benchjson > BENCH_e2e.new.json
+	$(GO) run ./cmd/benchjson -diff -threshold $(BENCH_DIFF_THRESHOLD) \
+		BENCH_e2e.json BENCH_e2e.new.json
+	@rm -f BENCH_e2e.new.json
+
 # Short fuzz sweep over every fuzz target (parsers, the wire-frame
 # decoder, and the run-report round trip); seed corpora also run in
 # plain `make test`.
@@ -51,7 +77,7 @@ fuzz:
 
 # cover enforces a 70% statement-coverage floor on the observability and
 # modeling packages (the ones whose regressions are silent).
-COVER_PKGS = ./internal/trace ./internal/perfmodel ./internal/expt
+COVER_PKGS = ./internal/trace ./internal/trace/critpath ./internal/perfmodel ./internal/expt
 cover:
 	@for pkg in $(COVER_PKGS); do \
 		out=$$($(GO) test -cover $$pkg | tail -1); \

@@ -30,6 +30,7 @@ import (
 	"casvm/internal/model"
 	"casvm/internal/multiclass"
 	"casvm/internal/perfmodel"
+	"casvm/internal/smo"
 	"casvm/internal/trace"
 )
 
@@ -116,11 +117,24 @@ type MetricsRegistry = trace.Registry
 // RunReport is the structured summary written by `casvm-train -report`.
 type RunReport = trace.Report
 
+// TelemetryRing buffers per-iteration solver telemetry (dual objective,
+// KKT gap, active-set and SV counts); attach one to Params.Telemetry. The
+// `-serve` flag of casvm-train streams it over SSE.
+type TelemetryRing = smo.TelemetryRing
+
+// IterSample is one iteration's convergence snapshot from the telemetry
+// ring.
+type IterSample = smo.IterSample
+
 // NewTimeline creates a timeline for a p-rank run.
 func NewTimeline(p int) *Timeline { return trace.NewTimeline(p) }
 
 // NewMetricsRegistry creates an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return trace.NewRegistry() }
+
+// NewTelemetryRing creates a telemetry ring holding the last n samples
+// (n ≤ 0 means 1024).
+func NewTelemetryRing(n int) *TelemetryRing { return smo.NewTelemetryRing(n) }
 
 // BuildReport assembles the structured run report for a finished run; see
 // trace.Report. dataset and accuracy annotate the report (zero values are

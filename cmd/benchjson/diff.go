@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// diffReports loads two benchjson reports and prints a comparison; it
+// returns true when any benchmark present in both regressed its ns/op by
+// more than threshold (a ratio: 0.10 = 10% slower). Benchmarks that exist
+// on only one side are reported but never gate.
+func diffReports(w io.Writer, oldPath, newPath string, threshold float64) (bool, error) {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return false, err
+	}
+	return diff(w, oldRep, newRep, threshold), nil
+}
+
+func loadReport(path string) (Report, error) {
+	var rep Report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+type benchKey struct {
+	name string
+	cpus int
+}
+
+func diff(w io.Writer, oldRep, newRep Report, threshold float64) bool {
+	old := map[benchKey]Result{}
+	for _, r := range oldRep.Results {
+		old[benchKey{r.Name, r.CPUs}] = r
+	}
+	seen := map[benchKey]bool{}
+	regressed := false
+	for _, n := range newRep.Results {
+		k := benchKey{n.Name, n.CPUs}
+		seen[k] = true
+		o, ok := old[k]
+		if !ok {
+			fmt.Fprintf(w, "  new      %s-%d  %.0f ns/op\n", n.Name, n.CPUs, n.NsPerOp)
+			continue
+		}
+		ratio := n.NsPerOp/o.NsPerOp - 1
+		verdict := "ok"
+		if ratio > threshold {
+			verdict = "REGRESSED"
+			regressed = true
+		}
+		fmt.Fprintf(w, "  %-9s%s-%d  %.0f → %.0f ns/op (%+.1f%%)%s\n",
+			verdict, n.Name, n.CPUs, o.NsPerOp, n.NsPerOp, 100*ratio, allocsDelta(o, n))
+	}
+	var gone []benchKey
+	for k := range old {
+		if !seen[k] {
+			gone = append(gone, k)
+		}
+	}
+	sort.Slice(gone, func(i, j int) bool {
+		if gone[i].name != gone[j].name {
+			return gone[i].name < gone[j].name
+		}
+		return gone[i].cpus < gone[j].cpus
+	})
+	for _, k := range gone {
+		fmt.Fprintf(w, "  gone     %s-%d\n", k.name, k.cpus)
+	}
+	if regressed {
+		fmt.Fprintf(w, "FAIL: ns/op regression past %.0f%% threshold\n", 100*threshold)
+	}
+	return regressed
+}
+
+// allocsDelta renders the allocs/op and B/op movement when both sides
+// measured them (informational only — allocations do not gate).
+func allocsDelta(o, n Result) string {
+	s := ""
+	if o.AllocsOp != nil && n.AllocsOp != nil && *o.AllocsOp != *n.AllocsOp {
+		s += fmt.Sprintf("  allocs %d → %d", *o.AllocsOp, *n.AllocsOp)
+	}
+	if o.BPerOp != nil && n.BPerOp != nil && *o.BPerOp != *n.BPerOp {
+		s += fmt.Sprintf("  B/op %d → %d", *o.BPerOp, *n.BPerOp)
+	}
+	return s
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func i64(v int64) *int64 { return &v }
+
+func rep(results ...Result) Report { return Report{Results: results} }
+
+func TestDiffGatesOnNsPerOp(t *testing.T) {
+	old := rep(
+		Result{Name: "BenchmarkSolve", CPUs: 1, NsPerOp: 1000, AllocsOp: i64(3)},
+		Result{Name: "BenchmarkSolve", CPUs: 4, NsPerOp: 400},
+	)
+	cases := []struct {
+		name      string
+		newRep    Report
+		threshold float64
+		regressed bool
+	}{
+		{"within threshold", rep(
+			Result{Name: "BenchmarkSolve", CPUs: 1, NsPerOp: 1090, AllocsOp: i64(3)},
+			Result{Name: "BenchmarkSolve", CPUs: 4, NsPerOp: 400}), 0.10, false},
+		{"past threshold", rep(
+			Result{Name: "BenchmarkSolve", CPUs: 1, NsPerOp: 1200, AllocsOp: i64(3)},
+			Result{Name: "BenchmarkSolve", CPUs: 4, NsPerOp: 400}), 0.10, true},
+		{"only one cpu variant regresses", rep(
+			Result{Name: "BenchmarkSolve", CPUs: 1, NsPerOp: 1000},
+			Result{Name: "BenchmarkSolve", CPUs: 4, NsPerOp: 900}), 0.10, true},
+		{"improvement never gates", rep(
+			Result{Name: "BenchmarkSolve", CPUs: 1, NsPerOp: 100},
+			Result{Name: "BenchmarkSolve", CPUs: 4, NsPerOp: 40}), 0.10, false},
+		{"new and gone benchmarks never gate", rep(
+			Result{Name: "BenchmarkOther", CPUs: 1, NsPerOp: 1e9}), 0.10, false},
+	}
+	for _, c := range cases {
+		var b strings.Builder
+		if got := diff(&b, old, c.newRep, c.threshold); got != c.regressed {
+			t.Errorf("%s: regressed=%v, want %v\n%s", c.name, got, c.regressed, b.String())
+		}
+	}
+}
+
+func TestDiffOutputDetails(t *testing.T) {
+	old := rep(
+		Result{Name: "BenchmarkA", CPUs: 1, NsPerOp: 1000, AllocsOp: i64(0), BPerOp: i64(0)},
+		Result{Name: "BenchmarkGone", CPUs: 1, NsPerOp: 5},
+	)
+	next := rep(
+		Result{Name: "BenchmarkA", CPUs: 1, NsPerOp: 2000, AllocsOp: i64(7), BPerOp: i64(640)},
+		Result{Name: "BenchmarkNew", CPUs: 1, NsPerOp: 9},
+	)
+	var b strings.Builder
+	if !diff(&b, old, next, 0.10) {
+		t.Fatal("2x slowdown must regress")
+	}
+	out := b.String()
+	for _, want := range []string{
+		"REGRESSED",
+		"1000 → 2000 ns/op (+100.0%)",
+		"allocs 0 → 7",
+		"B/op 0 → 640",
+		"new      BenchmarkNew-1",
+		"gone     BenchmarkGone-1",
+		"FAIL: ns/op regression past 10% threshold",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}

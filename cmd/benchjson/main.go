@@ -7,11 +7,17 @@
 // Usage:
 //
 //	go test ./... -bench . -benchmem -cpu 1,4 | benchjson > BENCH.json
+//	benchjson -diff BENCH_old.json BENCH_new.json -threshold 0.15
+//
+// Diff mode compares two reports benchmark-by-benchmark (matched on name
+// and -cpu value) and exits nonzero when any ns/op regressed past the
+// threshold ratio — the CI gate behind `make bench-diff`.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -38,6 +44,25 @@ type Report struct {
 }
 
 func main() {
+	diffMode := flag.Bool("diff", false, "compare two reports: benchjson -diff old.json new.json")
+	threshold := flag.Float64("threshold", 0.10, "with -diff: ns/op regression ratio that fails the diff (0.10 = 10%)")
+	flag.Parse()
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two report paths (old new)")
+			os.Exit(2)
+		}
+		regressed, err := diffReports(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
+
 	var rep Report
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

@@ -16,16 +16,20 @@ import (
 	"os"
 
 	"casvm/internal/expt"
+	"casvm/internal/smo"
+	"casvm/internal/telemetry"
+	"casvm/internal/trace"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (table3..table22, fig5, fig7, fig8, fig9, all)")
-		scale = flag.Float64("scale", 1.0, "dataset scale multiplier")
-		p     = flag.Int("p", 8, "ranks for the fixed-size experiments")
-		maxP  = flag.Int("maxp", 64, "largest rank count in the scaling sweeps")
+		exp    = flag.String("exp", "", "experiment id (table3..table22, fig5, fig7, fig8, fig9, all)")
+		scale  = flag.Float64("scale", 1.0, "dataset scale multiplier")
+		p      = flag.Int("p", 8, "ranks for the fixed-size experiments")
+		maxP   = flag.Int("maxp", 64, "largest rank count in the scaling sweeps")
 		seed   = flag.Int64("seed", 1, "run seed")
 		report = flag.String("report", "", "write a JSON array of per-run structured reports to this path")
+		serve  = flag.String("serve", "", "serve live telemetry on this address while experiments run: /metrics, /events (SSE), /report, /debug/pprof")
 		list   = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -45,6 +49,27 @@ func main() {
 	if *report != "" {
 		cfg.Reports = &expt.ReportSink{}
 	}
+	if *serve != "" {
+		// One registry and one telemetry ring span every training run the
+		// experiments perform; /report pages through the reports collected
+		// so far (collection is forced on so there is something to show).
+		if cfg.Reports == nil {
+			cfg.Reports = &expt.ReportSink{}
+		}
+		cfg.Metrics = trace.NewRegistry()
+		cfg.Telemetry = smo.NewTelemetryRing(0)
+		srv, err := telemetry.Start(*serve, telemetry.Config{
+			Metrics: cfg.Metrics,
+			Ring:    cfg.Telemetry,
+			Report:  func() any { return cfg.Reports.Snapshot() },
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "casvm-bench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s  (/metrics /events /report /debug/pprof)\n", srv.Addr())
+	}
 	if *exp == "all" {
 		if err := expt.RunAll(cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "casvm-bench:", err)
@@ -61,7 +86,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if cfg.Reports != nil {
+	if *report != "" {
 		f, err := os.Create(*report)
 		if err == nil {
 			err = cfg.Reports.WriteJSON(f)

@@ -13,8 +13,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"sync"
 
 	"casvm"
+	"casvm/internal/telemetry"
 )
 
 func main() {
@@ -32,6 +35,8 @@ func main() {
 		modelP  = flag.String("model", "casvm.model", "output model path")
 		report  = flag.String("report", "", "write a structured JSON run report to this path")
 		traceP  = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this path (load in chrome://tracing or ui.perfetto.dev)")
+		serve   = flag.String("serve", "", "serve live telemetry on this address during training: /metrics, /events (SSE), /report, /debug/pprof (e.g. localhost:9100)")
+		linger  = flag.Bool("serve-linger", false, "with -serve: keep the server up after training until interrupted")
 		list    = flag.Bool("list", false, "list datasets and methods, then exit")
 	)
 	flag.Parse()
@@ -80,12 +85,27 @@ func main() {
 	params.Kernel = casvm.RBF(g)
 	params.RatioBalanced = *ratio
 	params.Threads = *threads
-	if *report != "" || *traceP != "" {
+	if *report != "" || *traceP != "" || *serve != "" {
 		// Observability costs nothing unless asked for; when asked, the
 		// timeline feeds both the Chrome export and the report's phase
 		// split, and the registry feeds the report's metrics block.
 		params.Timeline = casvm.NewTimeline(*p)
 		params.Metrics = casvm.NewMetricsRegistry()
+	}
+	var srv *telemetry.Server
+	live := &liveReport{}
+	if *serve != "" {
+		params.Telemetry = casvm.NewTelemetryRing(0)
+		live.set(map[string]any{"status": "running", "method": string(m), "p": *p})
+		srv, err = telemetry.Start(*serve, telemetry.Config{
+			Metrics: params.Metrics,
+			Ring:    params.Telemetry,
+			Report:  live.get,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("telemetry: http://%s  (/metrics /events /report /debug/pprof)\n", srv.Addr())
 	}
 
 	out, acc, err := casvm.TrainDataset(ds, params)
@@ -111,22 +131,56 @@ func main() {
 	if name == "" {
 		name = *file
 	}
-	if *report != "" {
+	if *report != "" || srv != nil {
 		rep, err := casvm.BuildReport(out, params, name, acc)
 		if err != nil {
 			fail(err)
 		}
-		if err := writeFile(*report, rep.WriteJSON); err != nil {
-			fail(err)
+		live.set(rep)
+		if *report != "" {
+			if err := writeFile(*report, rep.WriteJSON); err != nil {
+				fail(err)
+			}
+			fmt.Printf("report written to %s\n", *report)
 		}
-		fmt.Printf("report written to %s\n", *report)
 	}
 	if *traceP != "" {
 		if err := writeFile(*traceP, params.Timeline.WriteChromeTrace); err != nil {
 			fail(err)
 		}
-		fmt.Printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceP)
+		fmt.Printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev; causal flow arrows between rank lanes)\n", *traceP)
 	}
+	if srv != nil {
+		if *linger {
+			fmt.Printf("telemetry: final report live at http://%s/report — Ctrl-C to exit\n", srv.Addr())
+			ch := make(chan os.Signal, 1)
+			signal.Notify(ch, os.Interrupt)
+			<-ch
+		}
+		if err := srv.Close(); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// liveReport is the mutable document behind the telemetry server's
+// /report endpoint: a run-status stub while training, swapped for the full
+// structured report once the run finishes.
+type liveReport struct {
+	mu sync.Mutex
+	v  any
+}
+
+func (l *liveReport) get() any {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.v
+}
+
+func (l *liveReport) set(v any) {
+	l.mu.Lock()
+	l.v = v
+	l.mu.Unlock()
 }
 
 // writeFile creates path and streams the writer function into it.

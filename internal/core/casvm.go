@@ -22,6 +22,7 @@ import (
 // scatter from rank 0 (the Fig 9 comparison).
 func trainCASVM(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params, out *rankResult) error {
 	rec := c.Recorder()
+	c.SetPhase("partition")
 	spInit := rec.BeginVirt(trace.CatInit, "partition", c.Clock())
 	var local part
 	var err error
@@ -71,6 +72,7 @@ func trainCASVM(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params, out *ra
 	out.initSec = c.Clock()
 	rec.EndVirt(spInit, c.Clock())
 
+	c.SetPhase("solve")
 	spSolve := rec.BeginVirt(trace.CatTrain, "solve", c.Clock())
 	res, err := smo.Solve(local.x, local.y, p.solverConfigAt(c.Rank()), nil)
 	if err != nil {

@@ -141,6 +141,12 @@ type Params struct {
 	// Registry.Publish (expvar) or Registry.WriteProm. Nil records
 	// nothing.
 	Metrics *trace.Registry
+
+	// Telemetry, when non-nil, receives one sample per solver iteration
+	// from every rank (dual objective, KKT gap, active-set/SV counts,
+	// shrink sweeps) — the live-convergence stream served by the `-serve`
+	// telemetry server. Nil records nothing.
+	Telemetry *smo.TelemetryRing
 }
 
 // FaultInjector is what Params.Faults accepts: a transport hook for
@@ -207,6 +213,8 @@ func (p Params) solverConfigAt(rank int) smo.Config {
 	}
 	cfg.Trace = p.Timeline.Rank(rank)
 	cfg.Metrics = p.Metrics
+	cfg.Telemetry = p.Telemetry
+	cfg.TelemetryRank = rank
 	return cfg
 }
 

@@ -15,6 +15,7 @@ import (
 // query to the model of its nearest center (Fig 3).
 func trainCPSVM(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params, out *rankResult) error {
 	rec := c.Recorder()
+	c.SetPhase("partition")
 	spInit := rec.BeginVirt(trace.CatInit, "partition", c.Clock())
 	local, err := scatterBlocks(c, full, fullY)
 	if err != nil {
@@ -30,6 +31,7 @@ func trainCPSVM(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params, out *ra
 	out.initSec = c.Clock()
 	rec.EndVirt(spInit, c.Clock())
 
+	c.SetPhase("solve")
 	spSolve := rec.BeginVirt(trace.CatTrain, "solve", c.Clock())
 	res, err := smo.Solve(local.x, local.y, p.solverConfigAt(c.Rank()), nil)
 	if err != nil {

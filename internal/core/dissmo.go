@@ -26,6 +26,7 @@ import (
 // the float32 wire rounding of the initial scatter.
 func trainDisSMO(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params, out *rankResult) error {
 	rec := c.Recorder()
+	c.SetPhase("partition")
 	spInit := rec.BeginVirt(trace.CatInit, "partition", c.Clock())
 	local, err := scatterBlocks(c, full, fullY)
 	if err != nil {
@@ -35,6 +36,7 @@ func trainDisSMO(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params, out *r
 	out.initSec = c.Clock()
 	rec.EndVirt(spInit, c.Clock())
 
+	c.SetPhase("solve")
 	spSolve := rec.BeginVirt(trace.CatTrain, "solve", c.Clock())
 	solver, err := smo.New(local.x, local.y, p.solverConfig(), nil)
 	if err != nil {
@@ -101,6 +103,7 @@ func trainDisSMO(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params, out *r
 	out.iters = iters
 	out.trainSec = c.Clock() - out.initSec
 	rec.EndVirt(spSolve, c.Clock())
+	c.SetPhase("assemble")
 
 	// Assemble the global model at rank 0: gather (SV rows, y, α, local
 	// bHigh/bLow contributions).

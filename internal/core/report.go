@@ -8,6 +8,7 @@ import (
 
 	"casvm/internal/model"
 	"casvm/internal/trace"
+	"casvm/internal/trace/critpath"
 )
 
 // ModelHash returns the SHA-256 hex digest of the serialized model set. The
@@ -74,5 +75,14 @@ func BuildReport(out *Output, p Params, dataset string, accuracy float64) (*trac
 	}
 	r.AttachTimeline(p.Timeline)
 	r.AttachMetrics(p.Metrics)
+	if p.Timeline != nil {
+		// Critical-path decomposition of the virtual makespan from the
+		// causal record (segments + flow edges) the timeline collected.
+		cp, err := critpath.Analyze(critpath.FromTimeline(p.Timeline))
+		if err != nil {
+			return nil, fmt.Errorf("core: critical path: %w", err)
+		}
+		r.CritPath = cp.Report()
+	}
 	return r, nil
 }

@@ -74,6 +74,7 @@ func trainTree(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params,
 	out *rankResult, useKMeans, passAll bool, lc *layerCollector) error {
 
 	rec := c.Recorder()
+	c.SetPhase("partition")
 	spInit := rec.BeginVirt(trace.CatInit, "partition", c.Clock())
 	local, err := scatterBlocks(c, full, fullY)
 	if err != nil {
@@ -89,6 +90,7 @@ func trainTree(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params,
 	out.partSize = local.x.Rows()
 	out.initSec = c.Clock()
 	rec.EndVirt(spInit, c.Clock())
+	c.SetPhase("solve")
 
 	passes := p.CascadePasses
 	if passes < 1 {

@@ -17,6 +17,7 @@ import (
 	"casvm/internal/kernel"
 	"casvm/internal/la"
 	"casvm/internal/perfmodel"
+	"casvm/internal/smo"
 	"casvm/internal/trace"
 )
 
@@ -37,6 +38,13 @@ type Config struct {
 	// training run the experiments perform (`casvm-bench -report`). Nil
 	// keeps all runs on the zero-instrumentation path.
 	Reports *ReportSink
+	// Metrics, when non-nil, is a registry shared across every training
+	// run (casvm-bench -serve points /metrics at it). It overrides the
+	// per-run fresh registry that Reports alone would attach.
+	Metrics *trace.Registry
+	// Telemetry, when non-nil, receives per-iteration solver samples from
+	// every run — the live feed behind `casvm-bench -serve`'s /events.
+	Telemetry *smo.TelemetryRing
 }
 
 // ReportSink accumulates structured run reports (trace.Report) from every
@@ -57,6 +65,14 @@ func (s *ReportSink) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.reps)
+}
+
+// Snapshot returns the reports collected so far (the live /report body
+// while `casvm-bench -serve` is running).
+func (s *ReportSink) Snapshot() []*trace.Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*trace.Report{}, s.reps...)
 }
 
 // WriteJSON writes the collected reports as one indented JSON array.
@@ -80,6 +96,10 @@ func train(cfg Config, dataset string, x *la.Matrix, y []float64, pr core.Params
 		pr.Timeline = trace.NewTimeline(pr.P)
 		pr.Metrics = trace.NewRegistry()
 	}
+	if cfg.Metrics != nil {
+		pr.Metrics = cfg.Metrics
+	}
+	pr.Telemetry = cfg.Telemetry
 	out, err := core.Train(x, y, pr)
 	if err != nil {
 		return nil, err

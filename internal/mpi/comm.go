@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"casvm/internal/la"
 	"casvm/internal/trace"
@@ -51,6 +52,7 @@ func (c *Comm) Clock() float64 { return c.clock }
 // books it as computation (and the flop count itself, for TotalFlops).
 func (c *Comm) Charge(flops float64) {
 	sec := c.world.machine.Compute(flops)
+	c.rec.RecordSegment(trace.SegComp, c.clock, c.clock+sec, 0)
 	c.clock += sec
 	c.world.stats.AddComp(c.rank, sec)
 	c.world.stats.AddFlops(c.rank, flops)
@@ -59,9 +61,15 @@ func (c *Comm) Charge(flops float64) {
 // ChargeTime advances the virtual clock by sec seconds of computation
 // directly (used when a cost is known in time rather than flops).
 func (c *Comm) ChargeTime(sec float64) {
+	c.rec.RecordSegment(trace.SegComp, c.clock, c.clock+sec, 0)
 	c.clock += sec
 	c.world.stats.AddComp(c.rank, sec)
 }
+
+// SetPhase labels this rank's subsequently recorded clock segments with an
+// algorithm phase name ("partition", "solve", …) so the critical-path
+// decomposition can report per-phase splits. Nil-recorder no-op.
+func (c *Comm) SetPhase(name string) { c.rec.SetPhase(name) }
 
 // chargeComm advances the clock by sec and books it as communication.
 func (c *Comm) chargeComm(sec float64) {
@@ -94,11 +102,12 @@ func (c *Comm) send(dst, tag int, data []byte) {
 	}
 	if dst == c.rank {
 		// Local delivery: no network cost, no accounting, no fault
-		// injection (nothing touches a wire).
+		// injection (nothing touches a wire), no flow edge (edgeID 0).
 		c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: data, clock: c.clock})
 		return
 	}
-	arrival := c.clock // set after the send cost below
+	var delay float64
+	var drop bool
 	copies := 1
 	if h := c.world.hook; h != nil {
 		v := h.Intercept(c.rank, dst, tag, data)
@@ -108,24 +117,42 @@ func (c *Comm) send(dst, tag int, data []byte) {
 			panic(v.CrashErr)
 		}
 		if v.Payload != nil {
+			// Corruption replaces the body before costing: the wire
+			// carries what was actually transmitted.
 			data = v.Payload
 		}
-		cost := c.world.machine.PtoP(len(data))
-		c.chargeComm(cost)
-		c.world.stats.RecordSend(c.rank, dst, len(data))
-		if v.Drop {
-			return
-		}
-		arrival = c.clock + v.DelaySec
+		drop, delay = v.Drop, v.DelaySec
 		copies += v.Duplicates
-	} else {
-		cost := c.world.machine.PtoP(len(data))
-		c.chargeComm(cost)
-		c.world.stats.RecordSend(c.rank, dst, len(data))
-		arrival = c.clock
 	}
+	// The α–β cost splits into the latency (ts) and bandwidth (tw·bytes)
+	// segments of the sender's clock; both carry the flow-edge id so the
+	// critical-path walk can hop from a receiver's wait back into this
+	// send. Clock arithmetic is unchanged from the uninstrumented path:
+	// the single `chargeComm(cost)` below is the only mutation.
+	var edgeID, sendNs int64
+	if c.rec != nil {
+		edgeID = c.world.tl.NextEdgeID()
+		lat := c.world.machine.Ts
+		cost := c.world.machine.PtoP(len(data))
+		c.rec.RecordSegment(trace.SegLatency, c.clock, c.clock+lat, edgeID)
+		c.rec.RecordSegment(trace.SegBandwidth, c.clock+lat, c.clock+cost, edgeID)
+	}
+	c.chargeComm(c.world.machine.PtoP(len(data)))
+	c.world.stats.RecordSend(c.rank, dst, len(data))
+	if c.rec != nil {
+		sendNs = time.Now().UnixNano()
+	}
+	if drop {
+		// The sender paid the wire cost (the bytes left the NIC); the
+		// receiver never sees the message, so no flow edge is delivered.
+		return
+	}
+	arrival := c.clock + delay
 	for i := 0; i < copies; i++ {
-		c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: data, clock: arrival})
+		// Duplicate deliveries share the original's edge id; the timeline
+		// dedupes at export.
+		c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: data, clock: arrival,
+			edgeID: edgeID, sendClock: c.clock, sendNs: sendNs})
 	}
 }
 
@@ -148,8 +175,24 @@ func (c *Comm) RecvFrom(src, tag int) ([]byte, int) {
 func (c *Comm) recv(src, tag int) message {
 	m := c.world.boxes[c.rank].take(src, tag)
 	if m.clock > c.clock {
+		// The message arrived "in the future": the gap is imbalance/
+		// dependency wait, attributed to the edge being waited on.
+		c.rec.RecordSegment(trace.SegWait, c.clock, m.clock, m.edgeID)
 		c.world.stats.AddComm(c.rank, m.clock-c.clock)
 		c.clock = m.clock
+	}
+	if m.edgeID != 0 {
+		// Receiver-side flow recording keeps each buffer single-owner.
+		// The payload length matches what the sender costed (corruption
+		// hooks swap the body before costing), so the receiver can
+		// recompute the α–β split locally.
+		c.rec.RecordFlow(trace.FlowEdge{
+			ID: m.edgeID, Src: m.src, Dst: c.rank, Tag: m.tag, Bytes: len(m.data),
+			SendVirtSec: m.sendClock, RecvVirtSec: c.clock,
+			SendWallNs: m.sendNs, RecvWallNs: time.Now().UnixNano(),
+			LatencySec:   c.world.machine.Ts,
+			BandwidthSec: c.world.machine.PtoP(len(m.data)) - c.world.machine.Ts,
+		})
 	}
 	return m
 }

@@ -82,7 +82,12 @@ type message struct {
 	src   int
 	tag   int
 	data  []byte
-	clock float64 // sender's virtual clock after paying the send cost
+	clock float64 // arrival time: sender's post-send clock plus injected delay
+
+	// Causal-trace fields, zero when the sender had no recorder attached.
+	edgeID    int64   // flow-edge id from Timeline.NextEdgeID (0 = untraced/self)
+	sendClock float64 // sender's virtual clock at send completion (before delay)
+	sendNs    int64   // sender's wall clock at send completion
 }
 
 // mailbox is one rank's unexpected-message queue with selective receive.

@@ -71,6 +71,7 @@ func (s *Solver) shrink() {
 	if len(kept) != len(s.active) {
 		// The cached extremes were computed over the pre-shrink set.
 		s.invalidateExtremes()
+		s.shrinkCount++
 	}
 	s.active = kept
 	if len(s.active) < 2 {

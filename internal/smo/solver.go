@@ -74,6 +74,13 @@ type Config struct {
 	// Metrics, when non-nil, receives solver counters at the end of Solve
 	// (iterations, row-cache hits/misses). Nil records nothing.
 	Metrics *trace.Registry
+	// Telemetry, when non-nil, receives one IterSample per applied Solve
+	// step (dual objective, KKT gap, active-set/SV counts, shrink sweeps)
+	// for live streaming. Nil — the default — skips sampling entirely.
+	Telemetry *TelemetryRing
+	// TelemetryRank labels this solver's samples in the shared ring
+	// (the mpi rank in distributed runs).
+	TelemetryRank int
 }
 
 func (c Config) posWeight() float64 {
@@ -128,10 +135,12 @@ type Solver struct {
 	drainedCache float64
 
 	// Shrinking state: the live index set, whether anything is currently
-	// shrunk, and iterations since the last shrink sweep.
+	// shrunk, iterations since the last shrink sweep, and how many sweeps
+	// actually removed samples (reported in telemetry).
 	active      []int
 	shrunk      bool
 	sinceShrink int
+	shrinkCount int
 
 	// Fused-iteration state: the working-set extremes computed by the last
 	// fused update/scan pass (or cached from a plain scan), valid until
@@ -522,6 +531,9 @@ func Solve(x *la.Matrix, y []float64, cfg Config, warm []float64) (*Result, erro
 		if s.Step() {
 			converged = true
 			break
+		}
+		if cfg.Telemetry != nil {
+			s.sampleTelemetry()
 		}
 	}
 	b := s.Bias()

@@ -7,9 +7,9 @@ import (
 )
 
 // frameBytes assembles a well-formed frame for the seed corpus.
-func frameBytes(tag int32, seq uint32, payload []byte) []byte {
+func frameBytes(tag int32, seq uint32, sendNs int64, payload []byte) []byte {
 	buf := make([]byte, frameHeaderLen+len(payload))
-	putFrameHeader(buf, int(tag), seq, len(payload))
+	putFrameHeader(buf, int(tag), seq, sendNs, len(payload))
 	copy(buf[frameHeaderLen:], payload)
 	return buf
 }
@@ -22,26 +22,27 @@ func frameBytes(tag int32, seq uint32, payload []byte) []byte {
 // normal test mode.
 func FuzzReadFrame(f *testing.F) {
 	oversized := make([]byte, frameHeaderLen)
-	putFrameHeader(oversized, 1, 1, 0)
-	binary.LittleEndian.PutUint32(oversized[8:12], maxFrame+1)
+	putFrameHeader(oversized, 1, 1, 0, 0)
+	binary.LittleEndian.PutUint32(oversized[16:20], maxFrame+1)
 
 	seeds := [][]byte{
 		nil,
 		{0x01},
-		{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07},   // truncated header
-		frameBytes(5, 1, nil),                        // zero-length payload
-		frameBytes(5, 0, []byte("control")),          // seq-0 (control) frame
-		frameBytes(-2147483648, 0, nil),              // heartbeat tag
-		frameBytes(7, 3, []byte("hello world")),      // normal frame
-		frameBytes(7, 3, []byte("hello world"))[:15], // truncated payload
-		oversized, // length field past maxFrame
-		append(frameBytes(1, 1, []byte("a")), 0xFF, 0xFF), // trailing garbage
+		{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07},                              // truncated header
+		frameBytes(5, 1, 0, nil),                                                // zero-length payload
+		frameBytes(5, 0, 0, []byte("control")),                                  // seq-0 (control) frame
+		frameBytes(-2147483648, 0, 0, nil),                                      // heartbeat tag
+		frameBytes(7, 3, 1_700_000_000_000_000_000, []byte("hello world")),      // normal frame
+		frameBytes(7, 3, 1_700_000_000_000_000_000, []byte("hello world"))[:23], // truncated payload
+		frameBytes(7, 3, -1, []byte("x")),                                       // negative sendNs survives
+		oversized,                                                               // length field past maxFrame
+		append(frameBytes(1, 1, 0, []byte("a")), 0xFF, 0xFF),                    // trailing garbage
 	}
 	for _, s := range seeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, in []byte) {
-		tag, seq, payload, err := readFrame(bytes.NewReader(in))
+		tag, seq, sendNs, payload, err := readFrame(bytes.NewReader(in))
 		if err != nil {
 			return
 		}
@@ -49,7 +50,7 @@ func FuzzReadFrame(f *testing.F) {
 		if len(payload) > maxFrame {
 			t.Fatalf("accepted oversized payload: %d bytes", len(payload))
 		}
-		out := frameBytes(int32(tag), seq, payload)
+		out := frameBytes(int32(tag), seq, sendNs, payload)
 		if !bytes.Equal(out, in[:len(out)]) {
 			t.Fatalf("frame does not round-trip: tag=%d seq=%d len=%d", tag, seq, len(payload))
 		}

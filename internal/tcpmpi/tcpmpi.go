@@ -8,11 +8,16 @@
 //
 // Wire protocol per frame (little endian):
 //
-//	int32 tag | uint32 seq | uint32 len | len bytes payload
+//	int32 tag | uint32 seq | int64 sendNs | uint32 len | len bytes payload
 //
 // seq is a per-direction data-frame counter (1, 2, …) that survives
 // reconnects, letting the receiver drop frames replayed by a send retry.
 // seq 0 marks control frames (heartbeats), which are never deduplicated.
+// sendNs is the sender's wall clock (unix nanoseconds) at Send time; with
+// Options.Timeline set, the receiver records a cross-process flow edge
+// (send→recv, bytes, wall timestamps) per delivered data frame, matching
+// the causal trace internal/mpi records for simulated worlds. It is 0 on
+// control frames and purely observational otherwise.
 //
 // Connection setup: rank i listens on addrs[i]; every pair (i < j) shares
 // one connection dialed by j, which introduces itself with a 4-byte rank
@@ -48,8 +53,8 @@ const DialTimeout = 30 * time.Second
 // hostile stream.
 const maxFrame = 1 << 30
 
-// frameHeaderLen is tag (4) + seq (4) + len (4).
-const frameHeaderLen = 12
+// frameHeaderLen is tag (4) + seq (4) + sendNs (8) + len (4).
+const frameHeaderLen = 20
 
 // hbTag marks heartbeat frames; it lives outside the int32 range user and
 // collective tags occupy (they are non-negative).
@@ -96,6 +101,14 @@ type Options struct {
 	// per peer — the silence detector's input). Nil records nothing and
 	// keeps the hot paths allocation-free.
 	Metrics *trace.Registry
+
+	// Timeline, when non-nil, records this rank's side of the causal
+	// trace: wall-clock collective spans and one flow edge per delivered
+	// data frame (edge ids are synthesized from (src, seq), so they are
+	// unique within the receiving process). Real deployments have no
+	// shared virtual clock, so edges carry wall timestamps only. Nil
+	// keeps every path record-free.
+	Timeline *trace.Timeline
 }
 
 func (o Options) withDefaults() Options {
@@ -180,11 +193,19 @@ type Comm struct {
 	mRetries    *trace.Counter   // send attempts that had to be retried
 	mPeerDead   *trace.Counter   // peers declared dead
 	mSentBytes  *trace.Counter   // data payload bytes written (excl. retries' duplicates)
+
+	// rec is this rank's trace recorder (nil without Options.Timeline).
+	// Only the goroutine driving Send/Recv/collectives touches it — the
+	// read loops pass frame metadata through the message queue instead of
+	// recording themselves, preserving the recorder's single-owner rule.
+	rec *trace.Recorder
 }
 
 type message struct {
-	tag  int
-	data []byte
+	tag    int
+	data   []byte
+	seq    uint32 // wire sequence (0 for self-sends: no flow edge)
+	sendNs int64  // sender's wall clock from the frame header
 }
 
 // Dial joins the world with default options. See DialOptions.
@@ -214,6 +235,7 @@ func DialOptions(rank int, addrs []string, opt Options) (*Comm, error) {
 	for r := range c.peers {
 		c.peers[r] = &peer{}
 	}
+	c.rec = c.opt.Timeline.Rank(rank) // nil-safe: nil timeline, nil recorder
 	if reg := c.opt.Metrics; reg != nil {
 		c.mHBGap = reg.Histogram("tcpmpi_heartbeat_gap_seconds",
 			"Observed gap between keepalives per peer connection.",
@@ -410,49 +432,51 @@ func (c *Comm) isClosed() bool {
 	return c.closed != nil
 }
 
-// parseFrameHeader decodes one 12-byte frame header, rejecting oversized
+// parseFrameHeader decodes one 20-byte frame header, rejecting oversized
 // payload lengths.
-func parseFrameHeader(hdr []byte) (tag int, seq uint32, n uint32, err error) {
+func parseFrameHeader(hdr []byte) (tag int, seq uint32, sendNs int64, n uint32, err error) {
 	if len(hdr) < frameHeaderLen {
-		return 0, 0, 0, fmt.Errorf("tcpmpi: short frame header (%d bytes)", len(hdr))
+		return 0, 0, 0, 0, fmt.Errorf("tcpmpi: short frame header (%d bytes)", len(hdr))
 	}
 	tag = int(int32(binary.LittleEndian.Uint32(hdr[:4])))
 	seq = binary.LittleEndian.Uint32(hdr[4:8])
-	n = binary.LittleEndian.Uint32(hdr[8:12])
+	sendNs = int64(binary.LittleEndian.Uint64(hdr[8:16]))
+	n = binary.LittleEndian.Uint32(hdr[16:20])
 	if n > maxFrame {
-		return 0, 0, 0, fmt.Errorf("tcpmpi: oversized frame (%d bytes)", n)
+		return 0, 0, 0, 0, fmt.Errorf("tcpmpi: oversized frame (%d bytes)", n)
 	}
-	return tag, seq, n, nil
+	return tag, seq, sendNs, n, nil
 }
 
 // putFrameHeader encodes a frame header into hdr (len ≥ frameHeaderLen).
-func putFrameHeader(hdr []byte, tag int, seq uint32, n int) {
+func putFrameHeader(hdr []byte, tag int, seq uint32, sendNs int64, n int) {
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(int32(tag)))
 	binary.LittleEndian.PutUint32(hdr[4:8], seq)
-	binary.LittleEndian.PutUint32(hdr[8:12], uint32(n))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(sendNs))
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(n))
 }
 
 // readFrame reads one complete frame from r.
-func readFrame(r io.Reader) (tag int, seq uint32, payload []byte, err error) {
+func readFrame(r io.Reader) (tag int, seq uint32, sendNs int64, payload []byte, err error) {
 	var hdr [frameHeaderLen]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
-		return 0, 0, nil, err
+		return 0, 0, 0, nil, err
 	}
 	var n uint32
-	if tag, seq, n, err = parseFrameHeader(hdr[:]); err != nil {
-		return 0, 0, nil, err
+	if tag, seq, sendNs, n, err = parseFrameHeader(hdr[:]); err != nil {
+		return 0, 0, 0, nil, err
 	}
 	payload = make([]byte, n)
 	if _, err = io.ReadFull(r, payload); err != nil {
-		return 0, 0, nil, err
+		return 0, 0, 0, nil, err
 	}
-	return tag, seq, payload, nil
+	return tag, seq, sendNs, payload, nil
 }
 
 func (c *Comm) readLoop(src int, conn net.Conn, gen int) {
 	p := c.peers[src]
 	for {
-		tag, seq, data, err := readFrame(conn)
+		tag, seq, sendNs, data, err := readFrame(conn)
 		if err != nil {
 			c.peerBroken(src, gen, fmt.Errorf("tcpmpi: read from rank %d: %w", src, err))
 			return
@@ -477,7 +501,7 @@ func (c *Comm) readLoop(src int, conn net.Conn, gen int) {
 			p.mu.Unlock()
 		}
 		c.mu.Lock()
-		c.queues[src] = append(c.queues[src], message{tag: tag, data: data})
+		c.queues[src] = append(c.queues[src], message{tag: tag, data: data, seq: seq, sendNs: sendNs})
 		c.mu.Unlock()
 		c.cond.Broadcast()
 	}
@@ -581,7 +605,7 @@ func (c *Comm) heartbeatLoop() {
 				c.peerBroken(r, gen, fmt.Errorf("tcpmpi: rank %d silent for %v", r, c.opt.HeartbeatTimeout))
 				continue
 			}
-			c.writeFrame(p, conn, hbTag, 0, nil)
+			c.writeFrame(p, conn, hbTag, 0, 0, nil)
 			// Write errors surface through the reader of the same
 			// connection or the silence threshold; nothing to do here.
 		}
@@ -590,9 +614,9 @@ func (c *Comm) heartbeatLoop() {
 
 // writeFrame writes one frame (header + payload) under the peer's send
 // lock with the configured write deadline.
-func (c *Comm) writeFrame(p *peer, conn net.Conn, tag int, seq uint32, data []byte) error {
+func (c *Comm) writeFrame(p *peer, conn net.Conn, tag int, seq uint32, sendNs int64, data []byte) error {
 	buf := make([]byte, frameHeaderLen+len(data))
-	putFrameHeader(buf, tag, seq, len(data))
+	putFrameHeader(buf, tag, seq, sendNs, len(data))
 	copy(buf[frameHeaderLen:], data)
 	p.sendMu.Lock()
 	defer p.sendMu.Unlock()
@@ -658,6 +682,10 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 	seq := p.sendSeq
 	p.sendMu.Unlock()
 
+	var sendNs int64
+	if c.rec != nil {
+		sendNs = time.Now().UnixNano()
+	}
 	backoff := c.opt.RetryBackoff
 	var lastErr error
 	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
@@ -673,7 +701,7 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 		p.mu.Unlock()
 		if conn == nil || broken {
 			lastErr = fmt.Errorf("tcpmpi: no connection to rank %d", dst)
-		} else if err := c.writeFrame(p, conn, tag, seq, data); err != nil {
+		} else if err := c.writeFrame(p, conn, tag, seq, sendNs, data); err != nil {
 			lastErr = err
 			c.peerBroken(dst, gen, fmt.Errorf("tcpmpi: write to rank %d: %w", dst, err))
 		} else {
@@ -710,9 +738,23 @@ func (c *Comm) Recv(src, tag int) ([]byte, error) {
 		q := c.queues[src]
 		for i := range q {
 			if q[i].tag == tag {
-				data := q[i].data
+				m := q[i]
 				c.queues[src] = append(q[:i], q[i+1:]...)
-				return data, nil
+				if c.rec != nil && m.seq != 0 && src != c.rank {
+					// Wall-only cross-process edge; the id is unique per
+					// (src, seq) within this receiver, and the wire-level
+					// replay dedup above guarantees each seq arrives once.
+					c.rec.RecordFlow(trace.FlowEdge{
+						ID:         int64(src+1)<<40 | int64(m.seq),
+						Src:        src,
+						Dst:        c.rank,
+						Tag:        tag,
+						Bytes:      len(m.data),
+						SendWallNs: m.sendNs,
+						RecvWallNs: time.Now().UnixNano(),
+					})
+				}
+				return m.data, nil
 			}
 		}
 		if err, ok := c.dead[src]; ok {
@@ -736,6 +778,7 @@ func (c *Comm) nextCollTag() int {
 // Bcast broadcasts root's payload to every rank via a binomial tree; all
 // ranks return it.
 func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	defer c.collSpan("Bcast")()
 	tag := c.nextCollTag()
 	p := c.size
 	vr := (c.rank - root + p) % p
@@ -769,6 +812,7 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 // Gatherv collects every rank's payload at root (root gets a slice indexed
 // by rank; others get nil).
 func (c *Comm) Gatherv(root int, data []byte) ([][]byte, error) {
+	defer c.collSpan("Gatherv")()
 	tag := c.nextCollTag()
 	if c.rank != root {
 		return nil, c.Send(root, tag, data)
@@ -790,6 +834,7 @@ func (c *Comm) Gatherv(root int, data []byte) ([][]byte, error) {
 
 // Scatterv delivers blocks[r] to rank r from root.
 func (c *Comm) Scatterv(root int, blocks [][]byte) ([]byte, error) {
+	defer c.collSpan("Scatterv")()
 	tag := c.nextCollTag()
 	if c.rank == root {
 		if len(blocks) != c.size {
@@ -808,8 +853,19 @@ func (c *Comm) Scatterv(root int, blocks [][]byte) ([]byte, error) {
 	return c.Recv(root, tag)
 }
 
+// collSpan opens a wall-clock collective span (real deployments have no
+// virtual clock); the returned func closes it. No-op without a timeline.
+func (c *Comm) collSpan(name string) func() {
+	if c.rec == nil {
+		return func() {}
+	}
+	sp := c.rec.Begin(trace.CatCollective, name)
+	return func() { c.rec.End(sp) }
+}
+
 // Barrier blocks until every rank enters it.
 func (c *Comm) Barrier() error {
+	defer c.collSpan("Barrier")()
 	if _, err := c.Gatherv(0, nil); err != nil {
 		return err
 	}
@@ -820,6 +876,7 @@ func (c *Comm) Barrier() error {
 // AllreduceSum element-wise sums x across ranks; every rank returns the
 // total. Implemented as gather-to-0 + broadcast.
 func (c *Comm) AllreduceSum(x []float64) ([]float64, error) {
+	defer c.collSpan("AllreduceSum")()
 	buf := make([]byte, 8*len(x))
 	for i, v := range x {
 		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))

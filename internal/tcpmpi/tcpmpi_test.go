@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"casvm/internal/trace"
 )
 
 // freeAddrs reserves n distinct localhost ports and returns their
@@ -210,4 +212,87 @@ func TestDialValidation(t *testing.T) {
 		t.Fatalf("self roundtrip: %q %v", got, err)
 	}
 	c.Close()
+}
+
+// TestTimelineFlowEdges: with Options.Timeline, every delivered data frame
+// leaves a wall-clock flow edge on the receiver, and collectives leave
+// spans — the real-transport mirror of internal/mpi's causal trace.
+func TestTimelineFlowEdges(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	tls := []*trace.Timeline{trace.NewTimeline(2), trace.NewTimeline(2)}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c, err := DialOptions(rank, addrs, Options{Timeline: tls[rank]})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer c.Close()
+			if err := c.Barrier(); err != nil {
+				errs[rank] = err
+				return
+			}
+			if rank == 0 {
+				if err := c.Send(1, 7, []byte("payload")); err != nil {
+					errs[rank] = err
+					return
+				}
+				_, errs[rank] = c.Recv(1, 8)
+			} else {
+				if _, err := c.Recv(0, 7); err != nil {
+					errs[rank] = err
+					return
+				}
+				errs[rank] = c.Send(0, 8, []byte("ack"))
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+
+	// Rank 1's world saw the barrier traffic plus the tag-7 payload; find
+	// the payload edge and check its identity and wall ordering.
+	var got *trace.FlowEdge
+	for _, e := range tls[1].FlowEdges() {
+		if e.Tag == 7 {
+			e := e
+			got = &e
+		}
+	}
+	if got == nil {
+		t.Fatalf("no tag-7 flow edge on rank 1: %+v", tls[1].FlowEdges())
+	}
+	if got.Src != 0 || got.Dst != 1 || got.Bytes != len("payload") {
+		t.Fatalf("edge: %+v", got)
+	}
+	if got.ID>>40 != int64(got.Src+1) {
+		t.Fatalf("edge id %d does not encode src %d", got.ID, got.Src)
+	}
+	if got.SendWallNs <= 0 || got.RecvWallNs < got.SendWallNs {
+		t.Fatalf("wall ordering: send=%d recv=%d", got.SendWallNs, got.RecvWallNs)
+	}
+	if tls[1].CausalityViolations() != 0 {
+		t.Fatalf("wall-only edges must not trip the virtual causality counter")
+	}
+
+	// Both ranks recorded the Barrier collective span.
+	for r, tl := range tls {
+		found := false
+		for _, ev := range tl.Events() {
+			if ev.Cat == trace.CatCollective && ev.Name == "Barrier" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("rank %d: no Barrier span", r)
+		}
+	}
 }

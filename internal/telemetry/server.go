@@ -1,0 +1,150 @@
+// Package telemetry is the live observability server behind the `-serve`
+// flag of casvm-train and casvm-bench. It exposes, over plain HTTP:
+//
+//	/metrics       — the trace.Registry in Prometheus text format
+//	/debug/pprof/* — the standard Go profiling endpoints
+//	/report        — a live JSON snapshot from the caller's report func
+//	/events        — an SSE stream of per-iteration solver telemetry
+//	                 (smo.TelemetryRing samples as JSON `data:` frames)
+//
+// The server only reads from concurrency-safe sinks (registry atomics,
+// the telemetry ring's mutex), so it can run while training is in flight
+// without perturbing it.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"casvm/internal/smo"
+	"casvm/internal/trace"
+)
+
+// Config wires the server to a run's observability sinks; any field may be
+// nil (its endpoint then serves an empty document).
+type Config struct {
+	// Metrics backs /metrics.
+	Metrics *trace.Registry
+	// Report, when non-nil, is invoked per /report request and its result
+	// rendered as indented JSON — typically a closure building a live
+	// trace.Report (or any snapshot struct) from the run so far.
+	Report func() any
+	// Ring backs the /events SSE stream.
+	Ring *smo.TelemetryRing
+	// PollInterval is the SSE poll cadence (default 200ms).
+	PollInterval time.Duration
+}
+
+// Server is a running telemetry endpoint.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Start listens on addr (e.g. "localhost:9100"; ":0" picks a free port)
+// and serves the telemetry endpoints until Close.
+func Start(addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 200 * time.Millisecond
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = cfg.Metrics.WriteProm(w) // nil-safe: writes nothing
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var v any
+		if cfg.Report != nil {
+			v = cfg.Report()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		serveSSE(w, r, cfg)
+	})
+	// net/http/pprof self-registers only on DefaultServeMux; wire the
+	// handlers explicitly so this mux stays self-contained.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln) // returns http.ErrServerClosed on Close
+	}()
+	return s, nil
+}
+
+// serveSSE streams telemetry-ring samples as server-sent events: one
+// `data:` line per IterSample, JSON-encoded, polled at the configured
+// cadence until the client disconnects or the server closes.
+func serveSSE(w http.ResponseWriter, r *http.Request, cfg Config) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	var cursor uint64
+	tick := time.NewTicker(cfg.PollInterval)
+	defer tick.Stop()
+	for {
+		var samples []smo.IterSample
+		samples, cursor = cfg.Ring.Since(cursor) // nil-safe: always empty
+		for _, s := range samples {
+			b, err := json.Marshal(s)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", b); err != nil {
+				return
+			}
+		}
+		if len(samples) > 0 {
+			fl.Flush()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the http:// base URL of the server.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the listener and waits for the serve loop to exit. In-flight
+// SSE streams end when their clients notice the closed connection.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

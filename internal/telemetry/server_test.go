@@ -1,0 +1,187 @@
+package telemetry_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"casvm/internal/core"
+	"casvm/internal/data"
+	"casvm/internal/kernel"
+	"casvm/internal/mpi"
+	"casvm/internal/smo"
+	"casvm/internal/telemetry"
+	"casvm/internal/trace"
+)
+
+// gate blocks rank 0's solver at a fixed iteration until released, pinning
+// the training run mid-flight while the test scrapes the live endpoints —
+// no sleeps, no racing the solver to the finish line.
+type gate struct {
+	release chan struct{}
+	blocked chan struct{}
+	once    sync.Once
+}
+
+func (g *gate) Intercept(src, dst, tag int, data []byte) mpi.Verdict { return mpi.Verdict{} }
+
+func (g *gate) CrashCheck(rank, iter int) error {
+	if rank == 0 && iter >= 10 {
+		g.once.Do(func() { close(g.blocked) })
+		<-g.release
+	}
+	return nil
+}
+
+// TestServeSmoke is the live-server smoke run `make check` invokes: start
+// a real training run, hold it mid-flight, scrape /metrics and /report,
+// read one SSE frame from /events, then release the run and shut down
+// clean.
+func TestServeSmoke(t *testing.T) {
+	d, err := data.Generate(data.MixtureSpec{
+		Name: "serve-test", Train: 512, Test: 16, Features: 8, Clusters: 4,
+		Separation: 7, Noise: 1, PosFrac: []float64{0.5}, LabelNoise: 0.02,
+		Margin: 1.0, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &gate{release: make(chan struct{}), blocked: make(chan struct{})}
+	ring := smo.NewTelemetryRing(4096)
+	reg := trace.NewRegistry()
+	reg.Counter("casvm_serve_smoke_runs_total", "Smoke-test runs.").Inc()
+
+	pr := core.DefaultParams(core.MethodRACA, 2)
+	pr.Kernel = kernel.RBF(1.0 / 16)
+	pr.Faults = g
+	pr.Telemetry = ring
+	pr.Metrics = reg
+
+	srv, err := telemetry.Start("127.0.0.1:0", telemetry.Config{
+		Metrics:      reg,
+		Ring:         ring,
+		Report:       func() any { return map[string]any{"telemetry_samples": ring.Total()} },
+		PollInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trainErr := make(chan error, 1)
+	go func() {
+		_, err := core.Train(d.X, d.Y, pr)
+		trainErr <- err
+	}()
+
+	select {
+	case <-g.blocked: // rank 0 is now parked mid-solve: the run is live
+	case err := <-trainErr:
+		t.Fatalf("training finished before the gate engaged: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("gate never engaged")
+	}
+
+	// /metrics mid-run: Prometheus framing with HELP/TYPE per family.
+	body := httpGet(t, srv.URL()+"/metrics")
+	for _, want := range []string{
+		"# HELP casvm_serve_smoke_runs_total Smoke-test runs.",
+		"# TYPE casvm_serve_smoke_runs_total counter",
+		"casvm_serve_smoke_runs_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// /report mid-run: live JSON snapshot; rank 0 recorded ≥ 10 iteration
+	// samples before parking.
+	var rep struct {
+		TelemetrySamples uint64 `json:"telemetry_samples"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL()+"/report")), &rep); err != nil {
+		t.Fatalf("/report: %v", err)
+	}
+	if rep.TelemetrySamples < 10 {
+		t.Fatalf("/report telemetry_samples=%d, want ≥ 10", rep.TelemetrySamples)
+	}
+
+	// /events: the first SSE frame decodes as an IterSample.
+	s := readFirstSSE(t, srv.URL()+"/events")
+	if s.Iter < 1 || (s.Rank != 0 && s.Rank != 1) {
+		t.Fatalf("bad SSE sample: %+v", s)
+	}
+	if s.Active <= 0 || s.DualObj <= 0 {
+		t.Fatalf("empty SSE sample: %+v", s)
+	}
+
+	// /debug/pprof is wired on this mux.
+	if body := httpGet(t, srv.URL()+"/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+
+	close(g.release)
+	select {
+	case err := <-trainErr:
+		if err != nil {
+			t.Fatalf("train: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("training did not finish after release")
+	}
+	if err := srv.Close(); err != nil && err != http.ErrServerClosed {
+		t.Fatalf("close: %v", err)
+	}
+	// The listener is really gone.
+	if _, err := http.Get(srv.URL() + "/metrics"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return string(b)
+}
+
+func readFirstSSE(t *testing.T, url string) smo.IterSample {
+	t.Helper()
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var s smo.IterSample
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &s); err != nil {
+			t.Fatalf("SSE frame %q: %v", line, err)
+		}
+		return s
+	}
+	t.Fatalf("no SSE frame before stream end: %v", sc.Err())
+	return smo.IterSample{}
+}

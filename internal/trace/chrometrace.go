@@ -13,6 +13,14 @@ import (
 // are "X" (complete) events with microsecond timestamps, instants are "i".
 // Virtual-clock seconds and modeled flops ride along in "args", where both
 // viewers display them in the selection panel.
+//
+// Cross-rank message deliveries additionally export as flow events: a
+// ph:"s" (flow start) on the sender's lane paired with a ph:"f" (flow end,
+// bp:"e" = bind to enclosing slice) on the receiver's, sharing a numeric
+// id — Perfetto draws these as arrows between rank lanes. The exact
+// virtual-time record (segments + edges) rides under the top-level "casvm"
+// key, which both viewers ignore; ReadTraceExtra recovers it bit-exactly
+// for offline critical-path analysis (cmd/casvm-profile).
 
 // chromeEvent is one trace_event entry.
 type chromeEvent struct {
@@ -23,13 +31,16 @@ type chromeEvent struct {
 	Dur   float64        `json:"dur,omitempty"`
 	Pid   int            `json:"pid"`
 	Tid   int            `json:"tid"`
-	Scope string         `json:"s,omitempty"` // instant scope: "t" = thread
+	Scope string         `json:"s,omitempty"`  // instant scope: "t" = thread
+	ID    int64          `json:"id,omitempty"` // flow-event binding id
+	BP    string         `json:"bp,omitempty"` // flow binding point: "e" on ph:"f"
 	Args  map[string]any `json:"args,omitempty"`
 }
 
 type chromeTrace struct {
 	TraceEvents     []chromeEvent `json:"traceEvents"`
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	Casvm           *TraceExtra   `json:"casvm,omitempty"`
 }
 
 // WriteChromeTrace serializes the timeline as Chrome trace_event JSON.
@@ -37,20 +48,30 @@ type chromeTrace struct {
 // viewer's time axis readable.
 func (t *Timeline) WriteChromeTrace(w io.Writer) error {
 	events := t.Events()
+	flows := t.FlowEdges()
 	var base int64
 	if len(events) > 0 {
 		base = events[0].WallStartNs
 	}
-	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
-	seen := map[int]bool{}
-	for _, e := range events {
-		if !seen[e.Rank] {
-			seen[e.Rank] = true
-			out.TraceEvents = append(out.TraceEvents, chromeEvent{
-				Name: "thread_name", Ph: "M", Pid: 0, Tid: e.Rank,
-				Args: map[string]any{"name": fmt.Sprintf("rank %d", e.Rank)},
-			})
+	for _, f := range flows {
+		if f.SendWallNs != 0 && (base == 0 || f.SendWallNs < base) {
+			base = f.SendWallNs
 		}
+	}
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}, Casvm: t.Extra()}
+	seen := map[int]bool{}
+	name := func(rank int) {
+		if seen[rank] {
+			return
+		}
+		seen[rank] = true
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: rank,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", rank)},
+		})
+	}
+	for _, e := range events {
+		name(e.Rank)
 		ce := chromeEvent{
 			Name: e.Name,
 			Cat:  e.Cat,
@@ -78,6 +99,41 @@ func (t *Timeline) WriteChromeTrace(w io.Writer) error {
 		}
 		out.TraceEvents = append(out.TraceEvents, ce)
 	}
+	for _, f := range flows {
+		name(f.Src)
+		name(f.Dst)
+		out.TraceEvents = append(out.TraceEvents,
+			chromeEvent{
+				Name: "msg", Cat: "flow", Ph: "s", ID: f.ID,
+				Ts: float64(f.SendWallNs-base) / 1e3, Pid: 0, Tid: f.Src,
+				Args: map[string]any{"bytes": f.Bytes, "virt_send_s": f.SendVirtSec},
+			},
+			chromeEvent{
+				Name: "msg", Cat: "flow", Ph: "f", BP: "e", ID: f.ID,
+				Ts: float64(f.RecvWallNs-base) / 1e3, Pid: 0, Tid: f.Dst,
+				Args: map[string]any{"virt_recv_s": f.RecvVirtSec},
+			})
+	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// ReadTraceExtra recovers the exact virtual-time record embedded by
+// WriteChromeTrace under the trace file's "casvm" key. The float64 JSON
+// round trip is exact, so analyses computed from the file agree bitwise
+// with the in-process ones.
+func ReadTraceExtra(r io.Reader) (*TraceExtra, error) {
+	var t struct {
+		Casvm *TraceExtra `json:"casvm"`
+	}
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: bad trace file: %w", err)
+	}
+	if t.Casvm == nil {
+		return nil, fmt.Errorf("trace: trace file has no casvm section (exported before causal tracing?)")
+	}
+	if t.Casvm.Schema != TraceExtraSchema {
+		return nil, fmt.Errorf("trace: casvm section schema %q, want %q", t.Casvm.Schema, TraceExtraSchema)
+	}
+	return t.Casvm, nil
 }

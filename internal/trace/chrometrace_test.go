@@ -13,6 +13,7 @@ import (
 type strictChromeTrace struct {
 	TraceEvents     []strictChromeEvent `json:"traceEvents"`
 	DisplayTimeUnit string              `json:"displayTimeUnit"`
+	Casvm           *TraceExtra         `json:"casvm"`
 }
 
 type strictChromeEvent struct {
@@ -24,6 +25,8 @@ type strictChromeEvent struct {
 	Pid   int            `json:"pid"`
 	Tid   int            `json:"tid"`
 	Scope string         `json:"s"`
+	ID    int64          `json:"id"`
+	BP    string         `json:"bp"`
 	Args  map[string]any `json:"args"`
 }
 

@@ -1,0 +1,405 @@
+// Package critpath builds the happens-before DAG of a traced run — each
+// rank's virtual-clock segment tiling plus the cross-rank flow edges — and
+// extracts its critical path: the single dependency chain that determines
+// the virtual makespan. The chain's time decomposes exactly into the four
+// α–β buckets of the paper's analysis: computation (tc·flops), latency
+// (ts per message), bandwidth (tw·bytes), and imbalance wait (idle time
+// not explained by any in-flight message). Because every attribution step
+// is a telescoping difference of clock values, the buckets sum to the
+// makespan to float round-off.
+//
+// The same structures support what-if re-costing (Recost): replaying the
+// DAG with scaled tc/ts/tw predicts the makespan and the winning algorithm
+// on a machine with a different balance, without re-running training.
+package critpath
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"casvm/internal/trace"
+)
+
+// Input is the causal record critpath consumes: per-rank virtual-time
+// segment tilings (index = rank, each in clock order) and the delivered
+// flow edges keyed by id.
+type Input struct {
+	Segments [][]trace.Segment
+	Edges    map[int64]trace.FlowEdge
+}
+
+// FromTimeline assembles the Input from a live timeline (after the
+// recording goroutines have finished).
+func FromTimeline(tl *trace.Timeline) Input {
+	return fromParts(tl.Segments(), tl.FlowEdges())
+}
+
+// FromExtra assembles the Input from the casvm section of an exported
+// trace file; the float64 JSON round trip is exact, so analyses from file
+// and from the live timeline agree bitwise.
+func FromExtra(x *trace.TraceExtra) Input {
+	if x == nil {
+		return Input{}
+	}
+	return fromParts(x.Segments, x.Edges)
+}
+
+func fromParts(segs [][]trace.Segment, edges []trace.FlowEdge) Input {
+	m := make(map[int64]trace.FlowEdge, len(edges))
+	for _, e := range edges {
+		m[e.ID] = e
+	}
+	return Input{Segments: segs, Edges: m}
+}
+
+// Step is one attribution on the critical path: AttrSec of the makespan
+// charged to Kind on Rank during [Start, End). Steps are produced by the
+// backward walk, so they are ordered from the makespan back toward t=0.
+type Step struct {
+	Rank    int           `json:"rank"`
+	Kind    trace.SegKind `json:"-"`
+	KindStr string        `json:"kind"`
+	Phase   string        `json:"phase,omitempty"`
+	Start   float64       `json:"start_s"`
+	End     float64       `json:"end_s"`
+	AttrSec float64       `json:"attr_s"`
+	EdgeID  int64         `json:"edge_id,omitempty"`
+}
+
+// PhaseSplit is the four-bucket decomposition of one algorithm phase's
+// share of the critical path.
+type PhaseSplit struct {
+	Phase        string  `json:"phase"`
+	CompSec      float64 `json:"comp_s"`
+	LatencySec   float64 `json:"latency_s"`
+	BandwidthSec float64 `json:"bandwidth_s"`
+	WaitSec      float64 `json:"wait_s"`
+}
+
+// TotalSec returns the phase's critical-path share.
+func (p PhaseSplit) TotalSec() float64 {
+	return p.CompSec + p.LatencySec + p.BandwidthSec + p.WaitSec
+}
+
+// Analysis is the critical path of one run.
+type Analysis struct {
+	MakespanSec float64 `json:"makespan_s"`
+	EndRank     int     `json:"end_rank"`
+
+	CompSec      float64 `json:"comp_s"`
+	LatencySec   float64 `json:"latency_s"`
+	BandwidthSec float64 `json:"bandwidth_s"`
+	WaitSec      float64 `json:"wait_s"`
+
+	// Hops counts cross-rank transitions; Steps the attribution steps.
+	Hops  int `json:"hops"`
+	Steps int `json:"steps"`
+
+	Phases []PhaseSplit `json:"phases,omitempty"`
+
+	steps []Step
+}
+
+// Sum returns the four buckets' total — equal to MakespanSec up to float
+// round-off (the acceptance invariant).
+func (a *Analysis) Sum() float64 {
+	return a.CompSec + a.LatencySec + a.BandwidthSec + a.WaitSec
+}
+
+// Path returns the full attribution walk, from the makespan backward.
+func (a *Analysis) Path() []Step { return a.steps }
+
+// TopSteps returns the k largest attribution steps, descending.
+func (a *Analysis) TopSteps(k int) []Step {
+	out := append([]Step{}, a.steps...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].AttrSec > out[j].AttrSec })
+	if k >= 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Report converts the analysis into the run-report form.
+func (a *Analysis) Report() *trace.CritPathReport {
+	r := &trace.CritPathReport{
+		MakespanSec:  a.MakespanSec,
+		EndRank:      a.EndRank,
+		CompSec:      a.CompSec,
+		LatencySec:   a.LatencySec,
+		BandwidthSec: a.BandwidthSec,
+		WaitSec:      a.WaitSec,
+		Hops:         a.Hops,
+		Steps:        a.Steps,
+	}
+	for _, p := range a.Phases {
+		r.Phases = append(r.Phases, trace.CritPathPhase{
+			Phase:        p.Phase,
+			CompSec:      p.CompSec,
+			LatencySec:   p.LatencySec,
+			BandwidthSec: p.BandwidthSec,
+			WaitSec:      p.WaitSec,
+		})
+	}
+	return r
+}
+
+// Analyze walks the happens-before DAG backward from the rank whose
+// tiling ends last. At each point (rank, t) the controlling segment is
+// the last one starting before t:
+//
+//   - comp/latency/bandwidth: attribute t−Start to the segment's bucket
+//     and continue at Start on the same rank;
+//   - wait with a resolvable edge: attribute t−SendVirtSec (the injected
+//     network delay, usually 0) to latency and hop to the sender at its
+//     send-completion time;
+//   - wait without an edge, or a gap in the tiling (dropped segments):
+//     attribute the idle span to wait and continue locally.
+//
+// Every step attributes exactly the clock distance it moves, so the four
+// buckets telescope to the makespan.
+func Analyze(in Input) (*Analysis, error) {
+	a := &Analysis{EndRank: -1}
+	var totalSegs int
+	for r, segs := range in.Segments {
+		totalSegs += len(segs)
+		if n := len(segs); n > 0 && segs[n-1].End > a.MakespanSec {
+			a.MakespanSec = segs[n-1].End
+			a.EndRank = r
+		}
+	}
+	if a.EndRank < 0 {
+		return a, nil
+	}
+
+	phases := map[string]int{}
+	bucket := func(kind trace.SegKind, phase string, d float64) {
+		switch kind {
+		case trace.SegComp:
+			a.CompSec += d
+		case trace.SegLatency:
+			a.LatencySec += d
+		case trace.SegBandwidth:
+			a.BandwidthSec += d
+		default:
+			a.WaitSec += d
+		}
+		i, ok := phases[phase]
+		if !ok {
+			i = len(a.Phases)
+			phases[phase] = i
+			a.Phases = append(a.Phases, PhaseSplit{Phase: phase})
+		}
+		p := &a.Phases[i]
+		switch kind {
+		case trace.SegComp:
+			p.CompSec += d
+		case trace.SegLatency:
+			p.LatencySec += d
+		case trace.SegBandwidth:
+			p.BandwidthSec += d
+		default:
+			p.WaitSec += d
+		}
+	}
+	step := func(rank int, kind trace.SegKind, phase string, start, t float64, edgeID int64) {
+		d := t - start
+		if d < 0 {
+			d = 0
+		}
+		bucket(kind, phase, d)
+		a.steps = append(a.steps, Step{Rank: rank, Kind: kind, KindStr: kind.String(),
+			Phase: phase, Start: start, End: t, AttrSec: d, EdgeID: edgeID})
+	}
+
+	// Strict progress: every iteration either moves t down or follows one
+	// flow edge, and happens-before admits no cycles; the guard only
+	// trips on a corrupted trace.
+	maxSteps := 2*totalSegs + 2*len(in.Edges) + 64
+	r, t := a.EndRank, a.MakespanSec
+	for t > 0 {
+		if len(a.steps) >= maxSteps {
+			return nil, fmt.Errorf("critpath: walk exceeded %d steps at rank %d t=%g (corrupted trace?)", maxSteps, r, t)
+		}
+		segs := in.Segments[r]
+		// Last segment with Start < t; zero-length segments at exactly t
+		// are naturally skipped.
+		i := sort.Search(len(segs), func(i int) bool { return segs[i].Start >= t }) - 1
+		if i < 0 {
+			// Leading idle: nothing recorded on this rank before t.
+			step(r, trace.SegWait, "", 0, t, 0)
+			break
+		}
+		seg := segs[i]
+		if seg.End < t {
+			// Gap in the tiling (dropped segments): count it as wait and
+			// land on the segment's end.
+			step(r, trace.SegWait, seg.Phase, seg.End, t, 0)
+			t = seg.End
+			continue
+		}
+		if seg.Kind == trace.SegWait {
+			if e, ok := in.Edges[seg.EdgeID]; ok && seg.EdgeID != 0 && t >= e.SendVirtSec {
+				// The wait ended because this message arrived: charge the
+				// post-send network delay to latency and hop to the
+				// sender's completion point.
+				if t > e.SendVirtSec {
+					step(r, trace.SegLatency, seg.Phase, e.SendVirtSec, t, seg.EdgeID)
+				}
+				a.Hops++
+				r, t = e.Src, e.SendVirtSec
+				continue
+			}
+			step(r, trace.SegWait, seg.Phase, seg.Start, t, seg.EdgeID)
+			t = seg.Start
+			continue
+		}
+		step(r, seg.Kind, seg.Phase, seg.Start, t, seg.EdgeID)
+		t = seg.Start
+	}
+	a.Steps = len(a.steps)
+	sort.SliceStable(a.Phases, func(i, j int) bool {
+		return a.Phases[i].TotalSec() > a.Phases[j].TotalSec()
+	})
+	return a, nil
+}
+
+// Factors scales the three machine constants for what-if re-costing:
+// every comp segment's duration is multiplied by Tc, every latency
+// segment (and injected delay) by Ts, every bandwidth segment by Tw.
+// The zero value of a field means "unchanged" after ParseFactors; use
+// One() for the identity.
+type Factors struct {
+	Tc float64
+	Ts float64
+	Tw float64
+}
+
+// One returns the identity re-costing.
+func One() Factors { return Factors{Tc: 1, Ts: 1, Tw: 1} }
+
+// ParseFactors parses a what-if spec like "tw=0.5x,ts=2" (the trailing
+// "x" is optional). Unmentioned factors stay 1.
+func ParseFactors(spec string) (Factors, error) {
+	f := One()
+	if strings.TrimSpace(spec) == "" {
+		return f, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return f, fmt.Errorf("critpath: bad what-if term %q (want name=factor)", part)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(kv[1]), "x"), 64)
+		if err != nil {
+			return f, fmt.Errorf("critpath: bad factor in %q: %v", part, err)
+		}
+		if v < 0 {
+			return f, fmt.Errorf("critpath: negative factor in %q", part)
+		}
+		switch strings.ToLower(strings.TrimSpace(kv[0])) {
+		case "tc":
+			f.Tc = v
+		case "ts":
+			f.Ts = v
+		case "tw":
+			f.Tw = v
+		default:
+			return f, fmt.Errorf("critpath: unknown machine constant %q (want tc, ts or tw)", kv[0])
+		}
+	}
+	return f, nil
+}
+
+// Recost replays the happens-before DAG under scaled machine constants
+// and returns the re-timed Input (analyze it with Analyze for the
+// predicted makespan and split). The replay is a deterministic worklist
+// simulation: each rank processes its segments in order; a wait segment
+// blocks until its sender's bandwidth segment has been replayed, then
+// resynchronizes to the new arrival time (send completion plus the
+// original injected delay scaled by Ts).
+func Recost(in Input, f Factors) (Input, error) {
+	p := len(in.Segments)
+	out := Input{Segments: make([][]trace.Segment, p), Edges: make(map[int64]trace.FlowEdge, len(in.Edges))}
+	idx := make([]int, p)
+	clock := make([]float64, p)
+	sendAt := make(map[int64]float64, len(in.Edges))
+
+	emit := func(r int, seg trace.Segment, start, end float64) {
+		seg.Start, seg.End = start, end
+		out.Segments[r] = append(out.Segments[r], seg)
+	}
+
+	for {
+		progress := false
+		remaining := false
+		for r := 0; r < p; r++ {
+			segs := in.Segments[r]
+			for idx[r] < len(segs) {
+				seg := segs[idx[r]]
+				switch seg.Kind {
+				case trace.SegComp:
+					start := clock[r]
+					clock[r] = start + seg.Dur()*f.Tc
+					emit(r, seg, start, clock[r])
+				case trace.SegLatency:
+					start := clock[r]
+					clock[r] = start + seg.Dur()*f.Ts
+					emit(r, seg, start, clock[r])
+				case trace.SegBandwidth:
+					start := clock[r]
+					clock[r] = start + seg.Dur()*f.Tw
+					emit(r, seg, start, clock[r])
+					if seg.EdgeID != 0 {
+						sendAt[seg.EdgeID] = clock[r]
+					}
+				case trace.SegWait:
+					e, haveEdge := in.Edges[seg.EdgeID]
+					if haveEdge {
+						done, sent := sendAt[seg.EdgeID]
+						if !sent {
+							// Sender hasn't been replayed this far yet.
+							goto blocked
+						}
+						delay := seg.End - e.SendVirtSec // original injected delay ≥ 0
+						if delay < 0 {
+							delay = 0
+						}
+						arrival := done + delay*f.Ts
+						start := clock[r]
+						if arrival > clock[r] {
+							clock[r] = arrival
+						}
+						emit(r, seg, start, clock[r])
+						ne := e
+						ne.SendVirtSec = done
+						ne.RecvVirtSec = clock[r]
+						ne.LatencySec = e.LatencySec * f.Ts
+						ne.BandwidthSec = e.BandwidthSec * f.Tw
+						out.Edges[seg.EdgeID] = ne
+					} else {
+						// Unresolvable wait (dropped edge, or a wait on an
+						// untraced/self message): replay the original idle
+						// span unscaled.
+						start := clock[r]
+						clock[r] = start + seg.Dur()
+						emit(r, seg, start, clock[r])
+					}
+				}
+				idx[r]++
+				progress = true
+			}
+		blocked:
+			if idx[r] < len(segs) {
+				remaining = true
+			}
+		}
+		if !remaining {
+			return out, nil
+		}
+		if !progress {
+			return out, fmt.Errorf("critpath: recost deadlocked (incomplete trace: a wait's sender was never replayed)")
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package critpath
+
+import (
+	"math"
+	"testing"
+
+	"casvm/internal/trace"
+)
+
+// handDAG builds a two-rank trace with a known critical path:
+//
+//	rank 0: comp [0,2] → latency [2,2.5] → bandwidth [2.5,4] → comp [4,5]
+//	rank 1: comp [0,1] → wait [1,4] (on edge 1) → comp [4,7]
+//
+// Edge 1 goes 0→1, send completes at 4, delivered at 4 (no delay). The
+// critical path ends on rank 1 at t=7 and decomposes as comp 5 (3 on
+// rank 1 + 2 on rank 0), latency 0.5, bandwidth 1.5, wait 0, with one hop.
+func handDAG() Input {
+	seg := func(k trace.SegKind, s, e float64, id int64, ph string) trace.Segment {
+		return trace.Segment{Kind: k, Start: s, End: e, EdgeID: id, Phase: ph}
+	}
+	return Input{
+		Segments: [][]trace.Segment{
+			{
+				seg(trace.SegComp, 0, 2, 0, "partition"),
+				seg(trace.SegLatency, 2, 2.5, 1, "solve"),
+				seg(trace.SegBandwidth, 2.5, 4, 1, "solve"),
+				seg(trace.SegComp, 4, 5, 0, "solve"),
+			},
+			{
+				seg(trace.SegComp, 0, 1, 0, "partition"),
+				seg(trace.SegWait, 1, 4, 1, "solve"),
+				seg(trace.SegComp, 4, 7, 0, "solve"),
+			},
+		},
+		Edges: map[int64]trace.FlowEdge{
+			1: {ID: 1, Src: 0, Dst: 1, Bytes: 9000, SendVirtSec: 4, RecvVirtSec: 4,
+				LatencySec: 0.5, BandwidthSec: 1.5},
+		},
+	}
+}
+
+func TestAnalyzeHandDAG(t *testing.T) {
+	a, err := Analyze(handDAG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MakespanSec != 7 || a.EndRank != 1 {
+		t.Fatalf("makespan %v on rank %d, want 7 on rank 1", a.MakespanSec, a.EndRank)
+	}
+	if a.CompSec != 5 || a.LatencySec != 0.5 || a.BandwidthSec != 1.5 || a.WaitSec != 0 {
+		t.Fatalf("split comp=%v lat=%v bw=%v wait=%v, want 5/0.5/1.5/0",
+			a.CompSec, a.LatencySec, a.BandwidthSec, a.WaitSec)
+	}
+	if a.Hops != 1 {
+		t.Fatalf("hops=%d, want 1", a.Hops)
+	}
+	if math.Abs(a.Sum()-a.MakespanSec) > 1e-9 {
+		t.Fatalf("decomposition sum %v != makespan %v", a.Sum(), a.MakespanSec)
+	}
+	// Phase split: "solve" carries 3+0.5+1.5 = 5 (rank 1 comp + the α–β
+	// cost of the edge), "partition" carries rank 0's first comp block.
+	want := map[string][4]float64{
+		"solve":     {3, 0.5, 1.5, 0}, // rank 0's post-send comp [4,5] is off-path
+		"partition": {2, 0, 0, 0},
+	}
+	for _, p := range a.Phases {
+		w, ok := want[p.Phase]
+		if !ok {
+			t.Fatalf("unexpected phase %q", p.Phase)
+		}
+		if p.CompSec != w[0] || p.LatencySec != w[1] || p.BandwidthSec != w[2] || p.WaitSec != w[3] {
+			t.Fatalf("phase %q split %v/%v/%v/%v, want %v", p.Phase,
+				p.CompSec, p.LatencySec, p.BandwidthSec, p.WaitSec, w)
+		}
+	}
+	// The largest single attribution is rank 1's final comp block.
+	top := a.TopSteps(1)
+	if len(top) != 1 || top[0].AttrSec != 3 || top[0].Rank != 1 || top[0].Kind != trace.SegComp {
+		t.Fatalf("top step: %+v", top)
+	}
+}
+
+// TestAnalyzeInjectedDelay: a message delivered later than its send
+// completion (fault-injected latency) charges the gap to the latency
+// bucket and still hops to the sender.
+func TestAnalyzeInjectedDelay(t *testing.T) {
+	in := handDAG()
+	in.Segments[1][1].End = 4.5 // wait extends to the delayed arrival
+	in.Segments[1][2] = trace.Segment{Kind: trace.SegComp, Start: 4.5, End: 7.5, Phase: "solve"}
+	e := in.Edges[1]
+	e.RecvVirtSec = 4.5
+	in.Edges[1] = e
+
+	a, err := Analyze(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MakespanSec != 7.5 {
+		t.Fatalf("makespan %v, want 7.5", a.MakespanSec)
+	}
+	if a.LatencySec != 1.0 { // 0.5 ts + 0.5 injected delay
+		t.Fatalf("latency %v, want 1.0", a.LatencySec)
+	}
+	if a.Hops != 1 || math.Abs(a.Sum()-a.MakespanSec) > 1e-9 {
+		t.Fatalf("hops=%d sum=%v makespan=%v", a.Hops, a.Sum(), a.MakespanSec)
+	}
+}
+
+// TestAnalyzeUnresolvableWait: a wait whose edge is missing (dropped
+// buffers) falls back to the wait bucket instead of failing.
+func TestAnalyzeUnresolvableWait(t *testing.T) {
+	in := handDAG()
+	delete(in.Edges, 1)
+	a, err := Analyze(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WaitSec != 3 { // the whole wait segment, no hop possible
+		t.Fatalf("wait %v, want 3", a.WaitSec)
+	}
+	if a.Hops != 0 || math.Abs(a.Sum()-a.MakespanSec) > 1e-9 {
+		t.Fatalf("hops=%d sum=%v makespan=%v", a.Hops, a.Sum(), a.MakespanSec)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a, err := Analyze(Input{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MakespanSec != 0 || a.Steps != 0 {
+		t.Fatalf("empty input: %+v", a)
+	}
+}
+
+// TestRecostHalvedBandwidth replays the DAG with tw halved: rank 0's
+// bandwidth segment shrinks from 1.5 to 0.75, the message arrives at 3.25,
+// and rank 1 finishes at 6.25.
+func TestRecostHalvedBandwidth(t *testing.T) {
+	out, err := Recost(handDAG(), Factors{Tc: 1, Ts: 1, Tw: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MakespanSec != 6.25 {
+		t.Fatalf("re-costed makespan %v, want 6.25", a.MakespanSec)
+	}
+	if a.CompSec != 5 || a.LatencySec != 0.5 || a.BandwidthSec != 0.75 || a.WaitSec != 0 {
+		t.Fatalf("re-costed split comp=%v lat=%v bw=%v wait=%v, want 5/0.5/0.75/0",
+			a.CompSec, a.LatencySec, a.BandwidthSec, a.WaitSec)
+	}
+	if math.Abs(a.Sum()-a.MakespanSec) > 1e-9 {
+		t.Fatalf("sum %v != makespan %v", a.Sum(), a.MakespanSec)
+	}
+}
+
+// TestRecostIdentity: the identity factors reproduce the original timing
+// exactly.
+func TestRecostIdentity(t *testing.T) {
+	in := handDAG()
+	out, err := Recost(in, One())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Analyze(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Analyze(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MakespanSec != want.MakespanSec || got.Sum() != want.Sum() {
+		t.Fatalf("identity recost changed the analysis: %+v vs %+v", got, want)
+	}
+}
+
+// TestRecostDeadlockDetected: a wait on an edge whose sender segments are
+// missing must error, not hang.
+func TestRecostDeadlockDetected(t *testing.T) {
+	in := handDAG()
+	in.Segments[0] = nil // sender's history gone; rank 1's wait can never resolve
+	if _, err := Recost(in, One()); err == nil {
+		t.Fatal("want deadlock error for incomplete trace")
+	}
+}
+
+func TestParseFactors(t *testing.T) {
+	f, err := ParseFactors("tw=0.5x, ts=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Tc != 1 || f.Ts != 2 || f.Tw != 0.5 {
+		t.Fatalf("parsed %+v", f)
+	}
+	if _, err := ParseFactors("tq=1"); err == nil {
+		t.Fatal("want error for unknown constant")
+	}
+	if _, err := ParseFactors("tw"); err == nil {
+		t.Fatal("want error for missing value")
+	}
+	if _, err := ParseFactors("tw=-1"); err == nil {
+		t.Fatal("want error for negative factor")
+	}
+	if f, err = ParseFactors(""); err != nil || f != One() {
+		t.Fatalf("empty spec: %v %+v", err, f)
+	}
+}

@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func flowTimeline(t *testing.T) *Timeline {
+	t.Helper()
+	tl := NewTimeline(3)
+	r1, r2 := tl.Rank(1), tl.Rank(2)
+	// Rank 0 sends to 1 and 2; edges are recorded receiver-side.
+	e1 := FlowEdge{ID: tl.NextEdgeID(), Src: 0, Dst: 1, Tag: 7, Bytes: 128,
+		SendVirtSec: 1.0, RecvVirtSec: 1.5, SendWallNs: 1000, RecvWallNs: 2000,
+		LatencySec: 1.5e-6, BandwidthSec: 128.0 / 4 * 6.7e-10}
+	e2 := FlowEdge{ID: tl.NextEdgeID(), Src: 0, Dst: 2, Tag: 7, Bytes: 256,
+		SendVirtSec: 2.0, RecvVirtSec: 2.25, SendWallNs: 3000, RecvWallNs: 4000}
+	r1.RecordFlow(e1)
+	r2.RecordFlow(e2)
+	r2.RecordFlow(e2) // fault-injected duplicate delivery: same id
+	return tl
+}
+
+// TestFlowEventSchema is the acceptance schema test: every exported flow
+// start ("s") has exactly one matching finish ("f") with the same id, ids
+// are unique per edge, and the "f" side binds to the enclosing slice.
+func TestFlowEventSchema(t *testing.T) {
+	tl := flowTimeline(t)
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := decodeStrict(t, buf.Bytes())
+
+	starts := map[int64]strictChromeEvent{}
+	finishes := map[int64]strictChromeEvent{}
+	for _, e := range out.TraceEvents {
+		switch e.Ph {
+		case "s":
+			if _, dup := starts[e.ID]; dup {
+				t.Fatalf("duplicate flow start id %d", e.ID)
+			}
+			starts[e.ID] = e
+		case "f":
+			if _, dup := finishes[e.ID]; dup {
+				t.Fatalf("duplicate flow finish id %d", e.ID)
+			}
+			if e.BP != "e" {
+				t.Fatalf("flow finish id %d: bp=%q, want \"e\"", e.ID, e.BP)
+			}
+			finishes[e.ID] = e
+		case "M":
+		default:
+			t.Fatalf("unexpected phase %q in flow-only trace", e.Ph)
+		}
+	}
+	if len(starts) != 2 || len(finishes) != 2 {
+		t.Fatalf("got %d starts, %d finishes; want 2 and 2 (duplicate delivery deduped)", len(starts), len(finishes))
+	}
+	for id, s := range starts {
+		f, ok := finishes[id]
+		if !ok {
+			t.Fatalf("flow start id %d has no finish", id)
+		}
+		if s.Tid == f.Tid {
+			t.Fatalf("flow id %d starts and finishes on the same lane %d", id, s.Tid)
+		}
+		if f.Ts < s.Ts {
+			t.Fatalf("flow id %d finishes before it starts (%v < %v)", id, f.Ts, s.Ts)
+		}
+		if s.Name != "msg" || s.Cat != "flow" {
+			t.Fatalf("flow start naming: %+v", s)
+		}
+	}
+}
+
+func decodeStrict(t *testing.T, b []byte) strictChromeTrace {
+	t.Helper()
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var out strictChromeTrace
+	if err := dec.Decode(&out); err != nil {
+		t.Fatalf("trace JSON violates the expected schema: %v", err)
+	}
+	return out
+}
+
+// TestTraceExtraRoundTrip: the casvm section written by WriteChromeTrace
+// decodes back bit-identically through ReadTraceExtra.
+func TestTraceExtraRoundTrip(t *testing.T) {
+	tl := flowTimeline(t)
+	tl.Rank(0).SetPhase("solve")
+	tl.Rank(0).RecordSegment(SegComp, 0, 0.5, 0)
+	tl.Rank(0).RecordSegment(SegLatency, 0.5, 0.625, 1)
+
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceExtra(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tl.Extra()
+	if got.Schema != TraceExtraSchema || got.P != 3 {
+		t.Fatalf("extra header: %+v", got)
+	}
+	if len(got.Edges) != len(want.Edges) {
+		t.Fatalf("%d edges, want %d", len(got.Edges), len(want.Edges))
+	}
+	for i := range want.Edges {
+		if got.Edges[i] != want.Edges[i] {
+			t.Fatalf("edge %d drifted through JSON: %+v vs %+v", i, got.Edges[i], want.Edges[i])
+		}
+	}
+	if len(got.Segments[0]) != 2 || got.Segments[0][0] != want.Segments[0][0] {
+		t.Fatalf("segments drifted: %+v", got.Segments)
+	}
+	if _, err := ReadTraceExtra(strings.NewReader(`{"traceEvents":[]}`)); err == nil {
+		t.Fatal("want error for a trace without a casvm section")
+	}
+}
+
+// TestRecordFlowCausalityCounter: recording an edge that arrives before it
+// was sent increments the violation counter.
+func TestRecordFlowCausalityCounter(t *testing.T) {
+	tl := NewTimeline(2)
+	tl.Rank(1).RecordFlow(FlowEdge{ID: tl.NextEdgeID(), Src: 0, Dst: 1,
+		SendVirtSec: 2.0, RecvVirtSec: 1.0})
+	if v := tl.CausalityViolations(); v != 1 {
+		t.Fatalf("violations=%d, want 1", v)
+	}
+}
+
+// TestSegmentMerging: adjacent comp segments in one phase merge; a phase
+// change or a non-comp segment breaks the merge; zero-length comp is
+// skipped.
+func TestSegmentMerging(t *testing.T) {
+	tl := NewTimeline(1)
+	r := tl.Rank(0)
+	r.SetPhase("a")
+	r.RecordSegment(SegComp, 0, 1, 0)
+	r.RecordSegment(SegComp, 1, 1, 0) // zero-length: skipped
+	r.RecordSegment(SegComp, 1, 2, 0) // merges into [0,2]
+	r.SetPhase("b")
+	r.RecordSegment(SegComp, 2, 3, 0) // new phase: no merge
+	r.RecordSegment(SegWait, 3, 4, 5)
+	r.RecordSegment(SegComp, 4, 5, 0)
+	segs := tl.Segments()[0]
+	if len(segs) != 4 {
+		t.Fatalf("got %d segments: %+v", len(segs), segs)
+	}
+	if segs[0] != (Segment{Kind: SegComp, Start: 0, End: 2, Phase: "a"}) {
+		t.Fatalf("merged segment: %+v", segs[0])
+	}
+	if segs[1].Phase != "b" || segs[2].Kind != SegWait || segs[2].EdgeID != 5 {
+		t.Fatalf("segments: %+v", segs)
+	}
+}
+
+// TestFlowBufferCaps: overflowing the per-rank flow/segment buffers counts
+// drops instead of growing without bound.
+func TestFlowBufferCaps(t *testing.T) {
+	tl := NewTimeline(1)
+	r := tl.Rank(0)
+	r.maxFlows, r.maxSegs = 2, 2
+	for i := 0; i < 5; i++ {
+		r.RecordFlow(FlowEdge{ID: tl.NextEdgeID(), Src: 0, Dst: 1})
+		r.RecordSegment(SegWait, float64(i), float64(i+1), 0)
+	}
+	if len(r.flows) != 2 || len(r.segs) != 2 {
+		t.Fatalf("buffers grew past caps: %d flows, %d segs", len(r.flows), len(r.segs))
+	}
+	if d := tl.Dropped(); d != 6 {
+		t.Fatalf("dropped=%d, want 6", d)
+	}
+}
+
+// TestNilTimelineFlowAPIs: every causal API is a safe no-op on nil.
+func TestNilTimelineFlowAPIs(t *testing.T) {
+	var tl *Timeline
+	if tl.NextEdgeID() != 0 {
+		t.Fatal("nil timeline must allocate the 0 sentinel")
+	}
+	if tl.FlowEdges() != nil || tl.Segments() != nil || tl.Extra() != nil {
+		t.Fatal("nil timeline causal reads must be empty")
+	}
+	var r *Recorder
+	r.SetPhase("x")
+	r.RecordFlow(FlowEdge{})
+	r.RecordSegment(SegComp, 0, 1, 0)
+	if tl.CausalityViolations() != 0 {
+		t.Fatal("nil timeline violations")
+	}
+}

@@ -20,12 +20,12 @@ func FuzzRunReportRoundTrip(f *testing.F) {
 		"",
 		"{}",
 		"null",
-		`{"schema":"casvm.report/v1"}`,
+		`{"schema":"casvm.report/v2"}`,
 		`{"schema":"casvm.report/v0"}`,
-		`{"schema":"casvm.report/v1","p":-1,"iters":9e999}`,
-		`{"schema":"casvm.report/v1","comm_matrix":[[1,2],[3]]}`,
-		`{"schema":"casvm.report/v1","metrics":{"a":1.5}}`,
-		`{"schema":"casvm.report/v1","phases":[{"cat":"solver","name":"scan","count":1,"wall_sec":0.1,"virt_sec":0}]}`,
+		`{"schema":"casvm.report/v2","p":-1,"iters":9e999}`,
+		`{"schema":"casvm.report/v2","comm_matrix":[[1,2],[3]]}`,
+		`{"schema":"casvm.report/v2","metrics":{"a":1.5}}`,
+		`{"schema":"casvm.report/v2","phases":[{"cat":"solver","name":"scan","count":1,"wall_sec":0.1,"virt_sec":0}]}`,
 		full.String(),
 	}
 	for _, s := range seeds {

@@ -230,16 +230,29 @@ func (r *Registry) snapshotEntries() []*metricEntry {
 	return append([]*metricEntry(nil), r.ordered...)
 }
 
+// promEscapeHelp escapes a HELP string per the exposition format:
+// backslashes and line feeds must be escaped so one metric's help cannot
+// break the line framing.
+func promEscapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
 // WriteProm renders every metric in the Prometheus text exposition format
 // (metric names are used verbatim; pick prometheus-compatible names).
-// Nil-safe: a nil registry writes nothing.
+// Every family is preceded by its # HELP and # TYPE lines — stricter
+// scrapers reject bare samples. Nil-safe: a nil registry writes nothing.
 func (r *Registry) WriteProm(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
 	for _, e := range r.snapshotEntries() {
 		if e.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, promEscapeHelp(e.help)); err != nil {
+				return err
+			}
+		} else {
+			if _, err := fmt.Fprintf(w, "# HELP %s\n", e.name); err != nil {
 				return err
 			}
 		}

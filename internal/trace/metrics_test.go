@@ -147,6 +147,74 @@ func TestWritePromFormat(t *testing.T) {
 	}
 }
 
+// TestWritePromFamilyStructure enforces the exposition-format framing a
+// strict scraper needs: every family's samples are preceded by exactly one
+// # HELP and one # TYPE line (in that order, HELP present even with empty
+// help text), and help strings escape backslashes and newlines.
+func TestWritePromFamilyStructure(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "").Inc() // empty help must still emit # HELP
+	reg.Gauge("b_ratio", "line1\nline2 \\ backslash").Set(1)
+	reg.Histogram("c_seconds", "Latency.", []float64{1}).Observe(0.5)
+
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("exposition must end with a newline")
+	}
+	help := map[string]int{}
+	typ := map[string]int{}
+	var families []string
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		fields := strings.Fields(line)
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			name := fields[2]
+			help[name]++
+			families = append(families, name)
+			if typ[name] != 0 {
+				t.Fatalf("HELP for %s after its TYPE:\n%s", name, out)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			name := fields[2]
+			typ[name]++
+			if help[name] != 1 {
+				t.Fatalf("TYPE for %s without preceding HELP:\n%s", name, out)
+			}
+		case line == "":
+			t.Fatalf("blank line in exposition:\n%s", out)
+		default:
+			// A sample: its family (name minus histogram suffixes and
+			// labels) must already have HELP+TYPE.
+			name := fields[0]
+			if i := strings.IndexByte(name, '{'); i >= 0 {
+				name = name[:i]
+			}
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if base := strings.TrimSuffix(name, suf); base != name && typ[base] == 1 {
+					name = base
+					break
+				}
+			}
+			if help[name] != 1 || typ[name] != 1 {
+				t.Fatalf("sample %q before its HELP/TYPE:\n%s", line, out)
+			}
+		}
+	}
+	if len(families) != 3 {
+		t.Fatalf("families %v, want 3", families)
+	}
+	if !strings.Contains(out, "# HELP a_total\n") {
+		t.Fatalf("empty-help family must emit a bare # HELP line:\n%s", out)
+	}
+	if !strings.Contains(out, `# HELP b_ratio line1\nline2 \\ backslash`) {
+		t.Fatalf("help escaping wrong:\n%s", out)
+	}
+}
+
 func TestSnapshotAndString(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("a_total", "").Add(2)

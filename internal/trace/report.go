@@ -7,8 +7,8 @@ import (
 )
 
 // ReportSchema identifies the run-report JSON layout; bump it when a field
-// changes meaning.
-const ReportSchema = "casvm.report/v1"
+// changes meaning. v2 added the critical-path decomposition (CritPath).
+const ReportSchema = "casvm.report/v2"
 
 // MachineInfo records the α–β machine constants a run was modeled with
 // (perfmodel.Machine, flattened so this package needs no import).
@@ -76,6 +76,36 @@ type Report struct {
 	// Flattened metrics snapshot (Registry.Snapshot), when metrics were
 	// attached.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+
+	// Critical-path decomposition of the virtual makespan (critpath
+	// package), when a timeline with causal tracing was attached.
+	CritPath *CritPathReport `json:"crit_path,omitempty"`
+}
+
+// CritPathReport is the critical-path decomposition embedded in a run
+// report: the makespan split into the four α–β buckets, overall and per
+// algorithm phase. CompSec+LatencySec+BandwidthSec+WaitSec equals
+// MakespanSec up to float round-off.
+type CritPathReport struct {
+	MakespanSec  float64 `json:"makespan_sec"`
+	EndRank      int     `json:"end_rank"`
+	CompSec      float64 `json:"comp_sec"`
+	LatencySec   float64 `json:"latency_sec"`
+	BandwidthSec float64 `json:"bandwidth_sec"`
+	WaitSec      float64 `json:"wait_sec"`
+	Hops         int     `json:"hops"`
+	Steps        int     `json:"steps"`
+
+	Phases []CritPathPhase `json:"phases,omitempty"`
+}
+
+// CritPathPhase is one algorithm phase's share of the critical path.
+type CritPathPhase struct {
+	Phase        string  `json:"phase"`
+	CompSec      float64 `json:"comp_sec"`
+	LatencySec   float64 `json:"latency_sec"`
+	BandwidthSec float64 `json:"bandwidth_sec"`
+	WaitSec      float64 `json:"wait_sec"`
 }
 
 // AttachTimeline fills the report's phase aggregation from tl (no-op for a

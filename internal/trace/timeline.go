@@ -57,6 +57,16 @@ type Recorder struct {
 	events []Event
 	max    int
 	drops  int64
+
+	// Causal buffers (flow.go): delivered-message edges, the virtual-clock
+	// segment tiling, and the phase label stamped onto new segments.
+	flows     []FlowEdge
+	segs      []Segment
+	maxFlows  int
+	maxSegs   int
+	flowDrops int64
+	segDrops  int64
+	phase     string
 }
 
 // Begin opens a span with wall-clock timing only.
@@ -147,6 +157,9 @@ type Timeline struct {
 	recs    []*Recorder
 	extra   atomic.Int64 // drops from out-of-range Rank requests
 	maxRank int
+
+	edgeSeq   atomic.Int64 // flow-edge id allocator (NextEdgeID)
+	causality atomic.Int64 // flow edges that violated recv ≥ send
 }
 
 // NewTimeline creates a timeline for p ranks with the default per-rank
@@ -164,7 +177,8 @@ func NewTimelineCap(p, maxPerRank int) *Timeline {
 	}
 	tl := &Timeline{recs: make([]*Recorder, p), maxRank: p}
 	for r := range tl.recs {
-		tl.recs[r] = &Recorder{tl: tl, rank: r, max: maxPerRank, events: make([]Event, 0, 64)}
+		tl.recs[r] = &Recorder{tl: tl, rank: r, max: maxPerRank, events: make([]Event, 0, 64),
+			maxFlows: DefaultMaxFlowsPerRank, maxSegs: DefaultMaxSegmentsPerRank}
 	}
 	return tl
 }
@@ -215,7 +229,7 @@ func (t *Timeline) Dropped() int64 {
 	}
 	var d int64
 	for _, r := range t.recs {
-		d += r.drops
+		d += r.drops + r.flowDrops + r.segDrops
 	}
 	return d + t.extra.Load()
 }
