@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-matrix vet check fuzz fuzz-smoke bench bench-e2e bench-diff serve-smoke cover
+.PHONY: build test race race-matrix vet check fuzz fuzz-smoke bench bench-e2e bench-diff serve-smoke soak cover
 
 build:
 	$(GO) build ./...
@@ -32,9 +32,18 @@ serve-smoke:
 	$(GO) test -race -count=1 -run TestServeSmoke ./internal/telemetry
 
 # check is the full verification gate: vet, the whole suite under the race
-# detector, the 1/4-CPU race matrix over the concurrency-heavy packages,
-# the fuzz seed corpora, and the live-server smoke run.
+# detector (which includes the TestChaosMatrix fault smoke: six methods ×
+# crash/drop+delay/corrupt under respawn recovery), the 1/4-CPU race matrix
+# over the concurrency-heavy packages, the fuzz seed corpora, and the
+# live-server smoke run.
 check: vet race race-matrix fuzz-smoke serve-smoke
+
+# soak is the randomized chaos soak: seeded random fault schedules over
+# every method family and both recovery policies, each run checked for
+# deadlock-freedom, bounded retries and convergence. Any failure log prints
+# the schedule seed, which alone reproduces the run.
+soak:
+	CASVM_SOAK=1 $(GO) test -count=1 -run TestChaosSoak -v ./internal/core
 
 # bench runs the SMO hot-path benchmark suite at 1 and 4 threads and
 # records ns/op + allocs/op in BENCH_smo.json (via cmd/benchjson).
@@ -42,7 +51,7 @@ check: vet race race-matrix fuzz-smoke serve-smoke
 # overhead; the disabled path is pinned to 0 allocs/op by test.
 bench:
 	$(GO) test ./internal/smo ./internal/kernel ./internal/la \
-		-run '^$$' -bench 'BenchmarkSolve$$|BenchmarkSolveInstrumented$$|UpdateScanFused|RowCache|BenchmarkDot' \
+		-run '^$$' -bench 'BenchmarkSolve$$|BenchmarkSolveInstrumented$$|BenchmarkSolveCheckpointed$$|UpdateScanFused|RowCache|BenchmarkDot' \
 		-benchmem -cpu 1,4 | $(GO) run ./cmd/benchjson > BENCH_smo.json
 	@echo wrote BENCH_smo.json
 

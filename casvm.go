@@ -67,6 +67,24 @@ type Stats = core.Stats
 // Output bundles a trained model set with its run statistics.
 type Output = core.Output
 
+// Recovery configures checkpoint/restart fault recovery; see core.Recovery.
+type Recovery = core.Recovery
+
+// RecoveryPolicy selects what the supervising driver does when a rank dies.
+type RecoveryPolicy = core.RecoveryPolicy
+
+// Recovery policies.
+const (
+	RecoverOff     = core.RecoverOff     // no supervision: a crash fails the run
+	RecoverRespawn = core.RecoverRespawn // restart the lost rank from the last checkpoint
+	RecoverShrink  = core.RecoverShrink  // rebuild the world without the lost rank
+)
+
+// ParseRecoveryPolicy resolves a policy name ("off", "respawn", "shrink").
+func ParseRecoveryPolicy(s string) (RecoveryPolicy, error) {
+	return core.ParseRecoveryPolicy(s)
+}
+
 // Matrix is the sample container (dense or CSR sparse).
 type Matrix = la.Matrix
 

@@ -17,7 +17,9 @@ import (
 	"sync"
 
 	"casvm"
+	"casvm/internal/faults"
 	"casvm/internal/telemetry"
+	"casvm/internal/trace"
 )
 
 func main() {
@@ -37,6 +39,10 @@ func main() {
 		traceP  = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this path (load in chrome://tracing or ui.perfetto.dev)")
 		serve   = flag.String("serve", "", "serve live telemetry on this address during training: /metrics, /events (SSE), /report, /debug/pprof (e.g. localhost:9100)")
 		linger  = flag.Bool("serve-linger", false, "with -serve: keep the server up after training until interrupted")
+		recPol  = flag.String("recover", "off", "recovery policy on rank failure: off, respawn (restart the lost rank from the last checkpoint), shrink (re-partition onto the survivors)")
+		ckptEv  = flag.Int("ckpt-every", 0, "checkpoint cadence in solver iterations (0 = 64 when recovery is on)")
+		chaos   = flag.Int64("chaos", 0, "inject a seeded random fault schedule (crashes, drops, delays); pair with -recover")
+		replayF = flag.String("replay-faults", "", "replay the fault schedule recorded in this run report (a JSON file from -report)")
 		list    = flag.Bool("list", false, "list datasets and methods, then exit")
 	)
 	flag.Parse()
@@ -85,6 +91,36 @@ func main() {
 	params.Kernel = casvm.RBF(g)
 	params.RatioBalanced = *ratio
 	params.Threads = *threads
+	pol, err := casvm.ParseRecoveryPolicy(*recPol)
+	if err != nil {
+		fail(err)
+	}
+	params.Recovery = casvm.Recovery{Policy: pol, CheckpointEvery: *ckptEv}
+	switch {
+	case *replayF != "":
+		fi, err := readFaultsBlock(*replayF)
+		if err != nil {
+			fail(err)
+		}
+		sched := faults.ScheduleFromFaults(fi)
+		params.Faults = faults.NewSchedule(sched)
+		// The report pins the policy that handled the original run; explicit
+		// -recover still wins.
+		if pol == casvm.RecoverOff && fi.Policy != "" {
+			params.Recovery.Policy = casvm.RecoveryPolicy(fi.Policy)
+		}
+		if params.Recovery.CheckpointEvery == 0 {
+			params.Recovery.CheckpointEvery = fi.CheckpointEvery
+		}
+		fmt.Printf("replaying fault schedule: seed=%d events=%d policy=%s\n",
+			sched.Seed, len(sched.Events), params.Recovery.Policy)
+	case *chaos != 0:
+		sched := faults.RandomSchedule(*chaos, *p, 4, faults.ScheduleOptions{})
+		sched.Policy = string(params.Recovery.Policy)
+		params.Faults = faults.NewSchedule(sched)
+		fmt.Printf("chaos schedule: seed=%d events=%d policy=%s\n",
+			sched.Seed, len(sched.Events), params.Recovery.Policy)
+	}
 	if *report != "" || *traceP != "" || *serve != "" {
 		// Observability costs nothing unless asked for; when asked, the
 		// timeline feeds both the Chrome export and the report's phase
@@ -119,6 +155,10 @@ func main() {
 		st.TotalSec, st.InitSec, st.TrainSec)
 	fmt.Printf("communication: %d bytes in %d operations\n", st.CommBytes, st.CommOps)
 	fmt.Printf("wall time: %v\n", st.Wall)
+	if st.Recoveries > 0 {
+		fmt.Printf("recovery: %d restart(s), lost ranks %v, %.4fs of virtual time (policy %s)\n",
+			st.Recoveries, st.LostRanks, st.RecoverySec, params.Recovery.Policy)
+	}
 	if ds.TestX != nil {
 		fmt.Printf("held-out accuracy: %.2f%%\n", 100*acc)
 	}
@@ -181,6 +221,24 @@ func (l *liveReport) set(v any) {
 	l.mu.Lock()
 	l.v = v
 	l.mu.Unlock()
+}
+
+// readFaultsBlock loads a run report and returns its faults block, which
+// alone reconstructs the original fault schedule.
+func readFaultsBlock(path string) (*trace.FaultsInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := trace.ReadReport(f)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Faults == nil {
+		return nil, fmt.Errorf("%s records no fault schedule to replay", path)
+	}
+	return rep.Faults, nil
 }
 
 // writeFile creates path and streams the writer function into it.

@@ -13,6 +13,17 @@
 //
 //	go run ./examples/distributed -launch -p 4 -kill-rank 2 -kill-after 1s
 //
+// Elastic recovery — same crash, but the run completes with every shard:
+//
+//	go run ./examples/distributed -launch -p 4 -kill-rank 2 -recover respawn
+//	go run ./examples/distributed -launch -p 4 -kill-rank 2 -recover shrink
+//
+// Under "respawn" the launcher forks a fresh process for the dead rank; the
+// new incarnation rejoins through rank 0 alone (tcpmpi Options.Peers), and
+// its hello's fresh flag resurrects the connection rank 0 had declared
+// dead. Under "shrink" rank 0 re-partitions the lost shard onto itself and
+// retrains it locally. Either way the assembled model set is complete.
+//
 // Or place workers by hand (possibly on different hosts):
 //
 //	go run ./examples/distributed -rank 0 -peers host0:7070,host1:7071
@@ -44,17 +55,22 @@ func main() {
 		p         = flag.Int("p", 4, "world size (with -launch)")
 		killRank  = flag.Int("kill-rank", -1, "rank to kill mid-run (with -launch)")
 		killAfter = flag.Duration("kill-after", time.Second, "how long the killed rank lives (with -kill-rank)")
+		policy    = flag.String("recover", "off", "recovery for the killed rank: off, respawn (refork it; it rejoins via rank 0), shrink (rank 0 retrains the lost shard)")
 		rank      = flag.Int("rank", -1, "this worker's rank (worker mode)")
 		peers     = flag.String("peers", "", "comma-separated rank addresses (worker mode)")
 		dieAfter  = flag.Duration("die-after", 0, "crash this worker before the model gather (worker mode)")
+		rejoin    = flag.Bool("rejoin", false, "this worker is a respawned incarnation: dial only rank 0 (worker mode)")
 	)
 	flag.Parse()
 
+	if *policy != "off" && *policy != "respawn" && *policy != "shrink" {
+		log.Fatalf("unknown -recover policy %q (want off, respawn or shrink)", *policy)
+	}
 	switch {
 	case *launch:
-		launchWorkers(*p, *killRank, *killAfter)
+		launchWorkers(*p, *killRank, *killAfter, *policy)
 	case *rank >= 0 && *peers != "":
-		runWorker(*rank, strings.Split(*peers, ","), *dieAfter)
+		runWorker(*rank, strings.Split(*peers, ","), *dieAfter, *policy, *rejoin)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -63,8 +79,14 @@ func main() {
 
 // launchWorkers picks free ports, forks one worker per rank and streams
 // their output. When killRank is set, that worker is told to crash after
-// killAfter; its death is expected and does not fail the launch.
-func launchWorkers(p, killRank int, killAfter time.Duration) {
+// killAfter; its death is expected and does not fail the launch. Under the
+// respawn policy the launcher is also the supervisor: it reforks the dead
+// rank as a fresh incarnation that rejoins through rank 0.
+func launchWorkers(p, killRank int, killAfter time.Duration, policy string) {
+	start := time.Now()
+	stamp := func(format string, a ...any) {
+		fmt.Printf("[%6.2fs] "+format+"\n", append([]any{time.Since(start).Seconds()}, a...)...)
+	}
 	addrs := make([]string, p)
 	for i := range addrs {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -77,90 +99,148 @@ func launchWorkers(p, killRank int, killAfter time.Duration) {
 	peerList := strings.Join(addrs, ",")
 	fmt.Printf("launching %d workers: %s\n", p, peerList)
 	if killRank >= 0 {
-		fmt.Printf("rank %d will be killed after %v\n", killRank, killAfter)
+		stamp("rank %d will be killed after %v (recovery policy: %s)", killRank, killAfter, policy)
 	}
-	procs := make([]*exec.Cmd, p)
-	outs := make([]bytes.Buffer, p)
-	for r := 0; r < p; r++ {
-		args := []string{"-rank", fmt.Sprint(r), "-peers", peerList}
-		if r == killRank {
+
+	type exit struct {
+		rank, incarnation int
+		err               error
+		out               *bytes.Buffer
+	}
+	exits := make(chan exit, p+1)
+	spawn := func(r, incarnation int) {
+		args := []string{"-rank", fmt.Sprint(r), "-peers", peerList, "-recover", policy}
+		if r == killRank && incarnation == 1 {
 			args = append(args, "-die-after", killAfter.String())
 		}
+		if incarnation > 1 {
+			args = append(args, "-rejoin")
+		}
+		var out bytes.Buffer
 		cmd := exec.Command(os.Args[0], args...)
-		cmd.Stdout = &outs[r]
-		cmd.Stderr = &outs[r]
+		cmd.Stdout = &out
+		cmd.Stderr = &out
 		if err := cmd.Start(); err != nil {
 			log.Fatal(err)
 		}
-		procs[r] = cmd
+		go func() { exits <- exit{r, incarnation, cmd.Wait(), &out} }()
 	}
+	for r := 0; r < p; r++ {
+		spawn(r, 1)
+	}
+
+	remaining := p
 	failed := false
-	for r, cmd := range procs {
-		if err := cmd.Wait(); err != nil {
-			if r == killRank {
-				fmt.Printf("worker %d died as requested: %v\n", r, err)
-			} else {
-				failed = true
-				fmt.Printf("worker %d failed: %v\n", r, err)
+	for remaining > 0 {
+		e := <-exits
+		if e.err != nil && e.rank == killRank && e.incarnation == 1 {
+			stamp("worker %d died as planned: %v", e.rank, e.err)
+			fmt.Printf("--- worker %d (incarnation 1) ---\n%s", e.rank, e.out.String())
+			if policy == "respawn" {
+				stamp("respawning worker %d — the fresh incarnation rejoins via rank 0", e.rank)
+				spawn(e.rank, 2) // the respawn owns this slot now
+				continue
 			}
+			stamp("policy %q: no respawn; the survivors own shard %d now", policy, e.rank)
+			remaining--
+			continue
 		}
-		fmt.Printf("--- worker %d ---\n%s", r, outs[r].String())
+		if e.err != nil {
+			failed = true
+			stamp("worker %d failed: %v", e.rank, e.err)
+		} else if e.incarnation > 1 {
+			stamp("respawned worker %d finished", e.rank)
+		}
+		fmt.Printf("--- worker %d (incarnation %d) ---\n%s", e.rank, e.incarnation, e.out.String())
+		remaining--
 	}
+	stamp("all workers accounted for")
 	if failed {
 		os.Exit(1)
 	}
 }
 
-// runWorker is one rank: local shard → local training → model gather. A
-// non-zero dieAfter crashes the worker before it ships its model,
-// simulating a mid-run node death the survivors must tolerate.
-func runWorker(rank int, addrs []string, dieAfter time.Duration) {
-	start := time.Now()
-	p := len(addrs)
-	// Short heartbeats so a dead peer is detected in a couple of seconds
-	// rather than the production default.
-	comm, err := tcpmpi.DialOptions(rank, addrs, tcpmpi.Options{
-		HeartbeatInterval: 500 * time.Millisecond,
-		HeartbeatTimeout:  2 * time.Second,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer comm.Close()
-
-	// casvm2 placement: every rank generates its own resident shard of the
-	// shared dataset deterministically — no data distribution traffic.
-	ds, entry, err := casvm.LoadDataset("toy", 1.0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	per := ds.M() / p
-	lo := rank * per
-	hi := lo + per
-	if rank == p-1 {
-		hi = ds.M()
+// shardRows returns the deterministic row range of rank r's resident shard
+// of an m-sample dataset split over p ranks.
+func shardRows(m, p, r int) []int {
+	per := m / p
+	lo, hi := r*per, (r+1)*per
+	if r == p-1 {
+		hi = m
 	}
 	rows := make([]int, 0, hi-lo)
 	for i := lo; i < hi; i++ {
 		rows = append(rows, i)
 	}
+	return rows
+}
+
+// trainShard trains rank r's resident shard on a single-rank in-process
+// world and returns the serialized model file plus the run stats.
+func trainShard(ds *casvm.Dataset, entry casvm.DatasetEntry, r, p int) ([]byte, casvm.Stats, error) {
+	rows := shardRows(ds.M(), p, r)
 	localX := ds.X.Subset(rows)
 	localY := make([]float64, len(rows))
 	for k, i := range rows {
 		localY[k] = ds.Y[i]
 	}
-
-	// Train this node's SVM on a single-rank in-process world — the whole
-	// point of CA-SVM is that nodes need not talk during training.
 	params := casvm.DefaultParams(casvm.MethodRACA, 1)
 	params.Kernel = casvm.RBF(entry.GammaOrDefault())
 	local := &casvm.Dataset{Name: "shard", X: localX, Y: localY}
 	out, _, err := casvm.TrainDataset(local, params)
 	if err != nil {
+		return nil, casvm.Stats{}, err
+	}
+	var buf bytes.Buffer
+	if err := model.SaveSet(&buf, out.Set); err != nil {
+		return nil, casvm.Stats{}, err
+	}
+	return buf.Bytes(), out.Stats, nil
+}
+
+// runWorker is one rank: local shard → local training → model gather. A
+// non-zero dieAfter crashes the worker before it ships its model,
+// simulating a mid-run node death. A rejoining worker is a respawned
+// incarnation: it dials only rank 0 (tcpmpi Options.Peers) instead of
+// paying the full-mesh handshake, and its fresh-incarnation hello
+// resurrects the connection rank 0 had given up on.
+func runWorker(rank int, addrs []string, dieAfter time.Duration, policy string, rejoin bool) {
+	start := time.Now()
+	p := len(addrs)
+	// Short heartbeats and a small reconnect budget so a dead peer is
+	// detected (and, failing a re-dial, declared dead) in a few seconds
+	// rather than the production default.
+	opt := tcpmpi.Options{
+		HeartbeatInterval:   500 * time.Millisecond,
+		HeartbeatTimeout:    2 * time.Second,
+		ReconnectAttempts:   2,
+		ReconnectBackoffMax: 500 * time.Millisecond,
+	}
+	if rejoin && rank != 0 {
+		opt.Peers = []int{0}
+	}
+	comm, err := tcpmpi.DialOptions(rank, addrs, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer comm.Close()
+	if rejoin {
+		fmt.Printf("rank %d: rejoined the world (fresh incarnation, coordinator-only mesh)\n", rank)
+	}
+
+	// casvm2 placement: every rank generates its own resident shard of the
+	// shared dataset deterministically — no data distribution traffic, and
+	// a respawned incarnation rebuilds the exact same shard.
+	ds, entry, err := casvm.LoadDataset("toy", 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, st, err := trainShard(ds, entry, rank, p)
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("rank %d: trained on %d samples, %d SVs, %d iterations\n",
-		rank, localX.Rows(), out.Stats.SVs, out.Stats.Iters)
+		rank, len(shardRows(ds.M(), p, rank)), st.SVs, st.Iters)
 
 	if dieAfter > 0 {
 		// Injected crash: hold the connection open until the deadline so
@@ -174,12 +254,8 @@ func runWorker(rank int, addrs []string, dieAfter time.Duration) {
 
 	// Ship the model file (and routing center) to rank 0 — the only
 	// communication in the entire run.
-	var buf bytes.Buffer
-	if err := model.SaveSet(&buf, out.Set); err != nil {
-		log.Fatal(err)
-	}
 	if rank != 0 {
-		if err := comm.Send(0, tagModel, buf.Bytes()); err != nil {
+		if err := comm.Send(0, tagModel, raw); err != nil {
 			// Root gone: nothing useful left to do, but this worker did
 			// its job — don't report a spurious failure.
 			fmt.Printf("rank %d: model gather failed (%v), exiting\n", rank, err)
@@ -187,18 +263,38 @@ func runWorker(rank int, addrs []string, dieAfter time.Duration) {
 		return
 	}
 
-	// Rank 0 collects every shard's model, tolerating dead ranks: a rank
-	// whose connection dies (and stays down past the reconnect window)
-	// costs its shard, not the run.
+	// Rank 0 collects every shard's model. A rank whose connection dies
+	// (and stays down past the reconnect window) is handled per policy:
+	// off — its shard is lost and the run degrades; respawn — keep
+	// receiving until the supervisor's fresh incarnation delivers; shrink —
+	// re-partition the shard onto rank 0 and retrain it here.
 	type shard struct {
 		rank int
 		raw  []byte
 	}
 	var shards []shard
 	var lost []int
-	shards = append(shards, shard{rank: 0, raw: buf.Bytes()})
+	shards = append(shards, shard{rank: 0, raw: raw})
 	for src := 1; src < p; src++ {
 		raw, err := comm.Recv(src, tagModel)
+		if err != nil && policy == "respawn" {
+			fmt.Printf("rank 0: shard %d lost (%v); waiting for its respawn\n", src, err)
+			deadline := time.Now().Add(30 * time.Second)
+			for time.Now().Before(deadline) {
+				time.Sleep(250 * time.Millisecond)
+				if raw, err = comm.Recv(src, tagModel); err == nil {
+					fmt.Printf("rank 0: shard %d redelivered by the respawned incarnation\n", src)
+					break
+				}
+			}
+		}
+		if err != nil && policy == "shrink" {
+			fmt.Printf("rank 0: shard %d lost (%v); shrink recovery — retraining it on rank 0\n", src, err)
+			var st casvm.Stats
+			if raw, st, err = trainShard(ds, entry, src, p); err == nil {
+				fmt.Printf("rank 0: shard %d retrained locally (%d SVs, %d iterations)\n", src, st.SVs, st.Iters)
+			}
+		}
 		if err != nil {
 			fmt.Printf("rank 0: shard %d lost (%v)\n", src, err)
 			lost = append(lost, src)
@@ -207,7 +303,7 @@ func runWorker(rank int, addrs []string, dieAfter time.Duration) {
 		shards = append(shards, shard{rank: src, raw: raw})
 	}
 
-	// Assemble the routed model set from the survivors and evaluate.
+	// Assemble the routed model set from the collected shards and evaluate.
 	set := &casvm.ModelSet{}
 	centerData := make([]float64, 0, len(shards)*ds.Features())
 	for _, s := range shards {
@@ -218,21 +314,15 @@ func runWorker(rank int, addrs []string, dieAfter time.Duration) {
 		set.Models = append(set.Models, ms.Models[0])
 		// Center = mean of the rank's shard (eqn 14), recomputed here
 		// from the deterministic shard definition.
-		lo, hi := s.rank*per, (s.rank+1)*per
-		if s.rank == p-1 {
-			hi = ds.M()
-		}
-		rows := make([]int, 0, hi-lo)
-		for i := lo; i < hi; i++ {
-			rows = append(rows, i)
-		}
-		centerData = append(centerData, ds.X.Mean(rows)...)
+		centerData = append(centerData, ds.X.Mean(shardRows(ds.M(), p, s.rank))...)
 	}
 	set.Centers = newDense(len(shards), ds.Features(), centerData)
 	acc := set.Accuracy(ds.TestX, ds.TestY)
 	if len(lost) > 0 {
 		fmt.Printf("rank 0: completed degraded — lost shard(s) %v, %d/%d model files assembled\n",
 			lost, len(shards), p)
+	} else if policy != "off" {
+		fmt.Printf("rank 0: every shard accounted for (policy %s)\n", policy)
 	}
 	fmt.Printf("rank 0: assembled %d model files; routed test accuracy %.2f%%\n",
 		set.P(), 100*acc)

@@ -142,6 +142,17 @@ type Params struct {
 	// nothing.
 	Metrics *trace.Registry
 
+	// Recovery enables checkpoint/restart: solver state is snapshotted
+	// every CheckpointEvery iterations and a rank crash triggers a
+	// supervised restart (respawn at full width, or shrink onto the
+	// survivors) resuming from the last consistent checkpoint, instead of
+	// failing fast or degrading. See recovery.go.
+	Recovery Recovery
+
+	// rt is the per-Train recovery runtime the supervisor threads into the
+	// method implementations (nil when Recovery.Policy is off).
+	rt *recoveryRuntime
+
 	// Telemetry, when non-nil, receives one sample per solver iteration
 	// from every rank (dual objective, KKT gap, active-set/SV counts,
 	// shrink sweeps) — the live-convergence stream served by the `-serve`
@@ -322,9 +333,17 @@ type Stats struct {
 
 	// LostRanks lists ranks that crashed during the run (from
 	// trace.Stats); Degraded is true when training completed without
-	// them. Both are empty/false for a clean run.
+	// them. Both are empty/false for a clean run. A run recovered by
+	// respawn has LostRanks but Degraded == false: every shard's work made
+	// it into the final model.
 	LostRanks []int
 	Degraded  bool
+
+	// Recoveries counts supervised restarts (crash → checkpoint resume);
+	// RecoverySec is the virtual time those restarts cost — lost re-work
+	// plus restart penalties — already included in TotalSec.
+	Recoveries  int
+	RecoverySec float64
 }
 
 // Output bundles the trained model set with the run statistics.

@@ -33,7 +33,7 @@ func trainCPSVM(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params, out *ra
 
 	c.SetPhase("solve")
 	spSolve := rec.BeginVirt(trace.CatTrain, "solve", c.Clock())
-	res, err := smo.Solve(local.x, local.y, p.solverConfigAt(c.Rank()), nil)
+	res, err := smo.Solve(local.x, local.y, p.solverConfigCkpt(c), nil)
 	if err != nil {
 		return err
 	}

@@ -36,9 +36,36 @@ func trainDisSMO(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params, out *r
 	out.initSec = c.Clock()
 	rec.EndVirt(spInit, c.Clock())
 
+	// The rank's first global row: Dis-SMO checkpoints live in global row
+	// space, so deposits and restores address the epoch arrays by offset.
+	// Any contiguous block layout (any P) slices the same arrays, which is
+	// what lets shrink recovery re-partition without conversion.
+	rowStart := 0
+	for r, rows := range evenBlocks(full.Rows(), c.Size()) {
+		if r == c.Rank() {
+			break
+		}
+		rowStart += len(rows)
+	}
+
 	c.SetPhase("solve")
 	spSolve := rec.BeginVirt(trace.CatTrain, "solve", c.Clock())
-	solver, err := smo.New(local.x, local.y, p.solverConfig(), nil)
+	cfg := p.solverConfig()
+	startIter := 0
+	if rt := p.rt; rt != nil {
+		if epoch, ga, gf, ok := rt.store.consistentDis(); ok {
+			cfg.Restore = &smo.Checkpoint{
+				Iters: epoch,
+				Alpha: ga[rowStart : rowStart+local.x.Rows()],
+				F:     gf[rowStart : rowStart+local.x.Rows()],
+			}
+			startIter = epoch
+			if rt.metrics != nil && c.Rank() == 0 {
+				rt.metrics.Counter("casvm_restores_total", "solver resumes from checkpoint").Inc()
+			}
+		}
+	}
+	solver, err := smo.New(local.x, local.y, cfg, nil)
 	if err != nil {
 		return err
 	}
@@ -53,8 +80,18 @@ func trainDisSMO(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params, out *r
 	}
 
 	buf := make([]float64, local.x.Rows())
-	iters := 0
+	iters := startIter
+	lastDep := startIter
 	for iters < maxIter {
+		// Deposit before the crash poll: a rank killed at iteration k has
+		// already contributed epoch k, so the supervisor can resume from a
+		// state every survivor passed through.
+		if rt := p.rt; rt != nil && iters > 0 && iters%rt.every == 0 && iters != lastDep {
+			lastDep = iters
+			ck := solver.Snapshot()
+			rt.chargeCheckpoint(c, 16*local.x.Rows())
+			rt.store.depositDis(iters, rowStart, ck.Alpha, ck.F)
+		}
 		if p.Faults != nil {
 			if err := p.Faults.CrashCheck(c.Rank(), iters); err != nil {
 				return err

@@ -63,8 +63,24 @@ func BuildReport(out *Output, p Params, dataset string, accuracy float64) (*trac
 		CommBytes:  st.CommBytes,
 		CommOps:    st.CommOps,
 		CommMatrix: st.CommMatrix,
-		LostRanks:  st.LostRanks,
-		Degraded:   st.Degraded,
+		LostRanks:   st.LostRanks,
+		Degraded:    st.Degraded,
+		Recoveries:  st.Recoveries,
+		RecoverySec: st.RecoverySec,
+	}
+	// A schedule-driven injector can describe its realized faults; record
+	// them so any chaos run replays from its report alone.
+	if fr, ok := p.Faults.(trace.FaultReporter); ok && p.Faults != nil {
+		fi := fr.FaultsInfo()
+		if fi != nil {
+			if fi.Policy == "" {
+				fi.Policy = string(p.Recovery.Policy)
+			}
+			if fi.CheckpointEvery == 0 && p.Recovery.Policy != RecoverOff {
+				fi.CheckpointEvery = p.Recovery.every()
+			}
+			r.Faults = fi
+		}
 	}
 	if out.Set != nil {
 		h, err := ModelHash(out.Set)
@@ -79,10 +95,16 @@ func BuildReport(out *Output, p Params, dataset string, accuracy float64) (*trac
 		// Critical-path decomposition of the virtual makespan from the
 		// causal record (segments + flow edges) the timeline collected.
 		cp, err := critpath.Analyze(critpath.FromTimeline(p.Timeline))
-		if err != nil {
+		switch {
+		case err == nil:
+			r.CritPath = cp.Report()
+		case st.Recoveries > 0 || len(st.LostRanks) > 0:
+			// A recovered or degraded run's causal record includes aborted
+			// attempts whose segment tiling stops mid-flight; omit the
+			// decomposition rather than failing the whole report.
+		default:
 			return nil, fmt.Errorf("core: critical path: %w", err)
 		}
-		r.CritPath = cp.Report()
 	}
 	return r, nil
 }

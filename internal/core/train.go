@@ -8,11 +8,18 @@ import (
 	"casvm/internal/la"
 	"casvm/internal/model"
 	"casvm/internal/mpi"
+	"casvm/internal/trace"
 )
 
-// Train runs the configured method on (x, y) across a fresh world of p.P
-// ranks and returns the trained model set plus the run statistics. Labels
-// must be ±1.
+// Train runs the configured method on (x, y) and returns the trained model
+// set plus the run statistics. Labels must be ±1.
+//
+// Without a recovery policy this is one world, one attempt: a rank crash
+// fails the run (or degrades it, when Params.Degraded elects that for the
+// independent-model methods). With Params.Recovery.Policy set, Train
+// supervises: crashes trigger checkpointed restarts — at full width
+// (respawn) or shrunk onto the survivors — until the run completes or the
+// restart budget is spent.
 func Train(x *la.Matrix, y []float64, p Params) (*Output, error) {
 	if x == nil || x.Rows() != len(y) {
 		return nil, errors.New("core: samples and labels disagree")
@@ -20,7 +27,131 @@ func Train(x *la.Matrix, y []float64, p Params) (*Output, error) {
 	if err := p.validate(x.Rows()); err != nil {
 		return nil, err
 	}
+	if p.Recovery.Policy == RecoverOff {
+		out, _, err := runAttempt(x, y, p, 0)
+		return out, err
+	}
+	return trainSupervised(x, y, p)
+}
+
+// trainSupervised is the checkpoint/restart supervisor: it runs attempts,
+// prices each failure into the next attempt's base clock, and resumes from
+// the store's last consistent checkpoint. Deterministic re-execution (same
+// seed, same partitioning) makes the (rank, solve-sequence) checkpoint keys
+// line up across attempts, so only solver state needs carrying over.
+func trainSupervised(x *la.Matrix, y []float64, p Params) (*Output, error) {
+	rec := p.Recovery
+	rt := &recoveryRuntime{
+		store:   newCkptStore(x.Rows()),
+		every:   rec.every(),
+		machine: p.Machine,
+		tl:      p.Timeline,
+		metrics: p.Metrics,
+	}
+	pp := p
+	pp.rt = rt
+	// The supervisor owns crash handling; in-attempt degraded completion
+	// would swallow the crash before the restart loop could act on it.
+	pp.Degraded = false
+
+	origID := make([]int, p.P) // current rank index -> original rank id
+	for i := range origID {
+		origID[i] = i
+	}
+	var lostOrig []int
+	base := 0.0
+	recoveries := 0
+	// Failed attempts' measured work, folded into the final run's stats so
+	// recovery overhead is visible, not vanished.
+	var extra Stats
+
+	for {
+		rt.resetSeqs(pp.P)
+		out, world, err := runAttempt(x, y, pp, base)
+		if err == nil {
+			st := &out.Stats
+			st.Recoveries = recoveries
+			st.RecoverySec = base
+			st.LostRanks = append(append([]int{}, lostOrig...), st.LostRanks...)
+			st.CommBytes += extra.CommBytes
+			st.CommOps += extra.CommOps
+			st.TotalFlops += extra.TotalFlops
+			st.CommSec += extra.CommSec
+			st.CompSec += extra.CompSec
+			return out, nil
+		}
+		var crash *mpi.CrashError
+		if !errors.As(err, &crash) {
+			return nil, err // genuine algorithmic failure: not recoverable
+		}
+		if recoveries >= rec.maxRestarts() {
+			return nil, fmt.Errorf("core: recovery budget exhausted after %d restarts: %w",
+				recoveries, err)
+		}
+
+		// Price the lost attempt: its work (MaxClock includes the base it
+		// started from) plus the modeled relaunch penalty becomes the next
+		// attempt's virtual-time origin.
+		failClock := world.MaxClock()
+		if failClock < base {
+			failClock = base
+		}
+		newBase := failClock + rec.penalty()
+
+		ws := world.Stats()
+		extra.CommBytes += ws.TotalBytes()
+		extra.CommOps += ws.TotalOps()
+		extra.TotalFlops += ws.TotalFlops()
+		extra.CommSec += ws.MaxCommSec()
+		extra.CompSec += ws.MaxCompSec()
+
+		lost := ws.LostRanks()
+		for _, l := range lost {
+			if l >= 0 && l < len(origID) {
+				lostOrig = append(lostOrig, origID[l])
+			}
+		}
+		if rec.Policy == RecoverShrink {
+			if pp.P-len(lost) < 1 {
+				return nil, fmt.Errorf("core: no survivors to shrink onto: %w", err)
+			}
+			dead := map[int]bool{}
+			for _, l := range lost {
+				dead[l] = true
+			}
+			survivors := origID[:0]
+			for i, id := range origID {
+				if !dead[i] {
+					survivors = append(survivors, id)
+				}
+			}
+			origID = survivors
+			pp.P = len(origID)
+			// Re-partitioned shards invalidate every (rank, seq) snapshot;
+			// Dis-SMO's global-row-space epochs survive the re-slice.
+			rt.store.dropLocal()
+		}
+
+		recoveries++
+		if r0 := p.Timeline.Rank(0); r0 != nil {
+			sp := r0.BeginVirt(trace.CatRecovery, "recovery:"+string(rec.Policy), failClock)
+			r0.EndVirt(sp, newBase)
+		}
+		if p.Metrics != nil {
+			p.Metrics.Counter("casvm_recoveries_total", "supervised crash recoveries").Inc()
+			p.Metrics.Counter("casvm_recovery_lost_ranks_total", "ranks lost across recoveries").
+				Add(int64(len(lost)))
+		}
+		base = newBase
+	}
+}
+
+// runAttempt executes the method once on a fresh world of p.P ranks whose
+// virtual clocks start at base, and returns the assembled output, the world
+// (for the supervisor's post-mortem on failure), and the first error.
+func runAttempt(x *la.Matrix, y []float64, p Params, base float64) (*Output, *mpi.World, error) {
 	world := mpi.NewWorld(p.P, p.Machine, p.Seed)
+	world.SetBaseClock(base)
 	if p.Faults != nil {
 		world.SetTransportHook(p.Faults)
 	}
@@ -56,7 +187,7 @@ func Train(x *la.Matrix, y []float64, p Params) (*Output, error) {
 		// aborts the run with the rank's error.
 		var crash *mpi.CrashError
 		if !(p.Degraded && p.Method.independentModels() && errors.As(err, &crash)) {
-			return nil, err
+			return nil, world, err
 		}
 		degraded = true
 	}
@@ -117,7 +248,7 @@ func Train(x *la.Matrix, y []float64, p Params) (*Output, error) {
 				if degraded {
 					continue // lost shard: survivors carry the prediction
 				}
-				return nil, fmt.Errorf("core: rank %d produced no model", r)
+				return nil, world, fmt.Errorf("core: rank %d produced no model", r)
 			}
 			models = append(models, results[r].local)
 			centers = append(centers, results[r].center...)
@@ -127,10 +258,10 @@ func Train(x *la.Matrix, y []float64, p Params) (*Output, error) {
 			}
 		}
 		if len(models) == 0 {
-			return nil, fmt.Errorf("core: every rank crashed: %w", err)
+			return nil, world, fmt.Errorf("core: every rank crashed: %w", err)
 		}
 		set = &model.Set{Models: models, Centers: la.NewDense(len(models), n, centers)}
 	}
 	st.Degraded = degraded
-	return &Output{Set: set, Stats: st}, nil
+	return &Output{Set: set, Stats: st}, world, nil
 }

@@ -152,7 +152,7 @@ func runTreePass(c *mpi.Comm, current part, p Params, passAll bool,
 		}
 		t0 := c.Clock()
 		sp := c.Recorder().BeginVirt(trace.CatTrain, "layer-solve", t0)
-		res, err := smo.Solve(current.x, current.y, p.solverConfigAt(c.Rank()), current.alpha)
+		res, err := smo.Solve(current.x, current.y, p.solverConfigCkpt(c), current.alpha)
 		if err != nil {
 			return part{}, nil, err
 		}

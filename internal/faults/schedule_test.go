@@ -1,0 +1,107 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRandomScheduleDeterministic: the same (seed, p, n, opts) draw yields
+// the same schedule — a soak failure reproduces from its seed alone.
+func TestRandomScheduleDeterministic(t *testing.T) {
+	opts := ScheduleOptions{MaxIter: 32, MaxSend: 8, MaxCrashes: 2}
+	a := RandomSchedule(7, 4, 6, opts)
+	b := RandomSchedule(7, 4, 6, opts)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%v\n%v", a.Events, b.Events)
+	}
+	c := RandomSchedule(8, 4, 6, opts)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds drew identical schedules")
+	}
+	crashes := 0
+	for _, e := range a.Events {
+		if e.Kind == "crash-iter" || e.Kind == "crash-send" {
+			crashes++
+		}
+	}
+	if crashes > 2 {
+		t.Fatalf("%d crash events exceed MaxCrashes=2", crashes)
+	}
+}
+
+// TestScheduleCrashFiresOnce is the property that separates Schedule from
+// Injector: after the crash fires, a respawned rank polling the same
+// iteration again sails through.
+func TestScheduleCrashFiresOnce(t *testing.T) {
+	in := NewSchedule(Schedule{Events: []ScheduledFault{{Kind: "crash-iter", Rank: 2, Iter: 10}}})
+	if err := in.CrashCheck(2, 5); err != nil {
+		t.Fatalf("fired before trigger: %v", err)
+	}
+	if err := in.CrashCheck(1, 50); err != nil {
+		t.Fatalf("fired for wrong rank: %v", err)
+	}
+	if err := in.CrashCheck(2, 12); err == nil {
+		t.Fatal("did not fire at trigger")
+	}
+	// The respawned rank replays the same iterations: no re-fire.
+	for iter := 0; iter < 64; iter++ {
+		if err := in.CrashCheck(2, iter); err != nil {
+			t.Fatalf("re-fired at iter %d after recovery", iter)
+		}
+	}
+	if n := len(in.Events()); n != 1 {
+		t.Fatalf("realized events = %d, want 1", n)
+	}
+}
+
+// TestScheduleSendFaultsOneShot: message faults trigger at the rank's
+// send-index threshold, exactly once each, and drops become retransmit
+// delays (the in-process runtime has no retransmission of its own).
+func TestScheduleSendFaultsOneShot(t *testing.T) {
+	in := NewSchedule(Schedule{
+		Events: []ScheduledFault{
+			{Kind: "drop", Rank: 0, Send: 2},
+			{Kind: "dup", Rank: 0, Send: 3},
+			{Kind: "corrupt", Rank: 1, Send: 1},
+		},
+		RetransmitSec: 5e-3,
+	})
+	payload := []byte{1, 2, 3, 4}
+
+	v := in.Intercept(0, 1, 7, payload) // rank 0 send #1: nothing armed yet
+	if v.DelaySec != 0 || v.Duplicates != 0 || v.Payload != nil || v.Drop {
+		t.Fatalf("send #1 perturbed: %+v", v)
+	}
+	v = in.Intercept(0, 1, 7, payload) // send #2: drop → retransmit delay
+	if v.DelaySec != 5e-3 || v.Drop {
+		t.Fatalf("drop not modeled as retransmit delay: %+v", v)
+	}
+	v = in.Intercept(0, 1, 7, payload) // send #3: dup (drop already consumed)
+	if v.Duplicates != 1 || v.DelaySec != 0 {
+		t.Fatalf("dup verdict: %+v", v)
+	}
+	v = in.Intercept(1, 0, 7, payload) // rank 1 send #1: corrupt
+	if v.Payload == nil || &v.Payload[0] == &payload[0] {
+		t.Fatal("corrupt must replace the payload without aliasing")
+	}
+	if n := len(in.Events()); n != 3 {
+		t.Fatalf("realized events = %d, want 3", n)
+	}
+}
+
+// TestScheduleFaultsInfoRoundTrip: FaultsInfo → ScheduleFromFaults
+// reconstructs the schedule (the -replay-faults path).
+func TestScheduleFaultsInfoRoundTrip(t *testing.T) {
+	s := RandomSchedule(3, 4, 5, ScheduleOptions{})
+	s.Policy = "respawn"
+	s.CheckpointEvery = 16
+	in := NewSchedule(s)
+	fi := in.FaultsInfo()
+	if fi.Seed != 3 || fi.Policy != "respawn" || fi.CheckpointEvery != 16 {
+		t.Fatalf("faults block header: %+v", fi)
+	}
+	got := ScheduleFromFaults(fi)
+	if got.Seed != s.Seed || !reflect.DeepEqual(got.Events, s.Events) {
+		t.Fatalf("round trip diverged:\n%v\n%v", s.Events, got.Events)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"casvm/internal/la"
+	"casvm/internal/perfmodel"
 	"casvm/internal/trace"
 )
 
@@ -47,6 +48,10 @@ func (c *Comm) RNG() *rand.Rand { return c.rng }
 
 // Clock returns the rank's current virtual time in seconds.
 func (c *Comm) Clock() float64 { return c.clock }
+
+// Machine returns the world's α–β cost model, so callers can price
+// non-message work (checkpoint writes, recovery overhead) consistently.
+func (c *Comm) Machine() perfmodel.Machine { return c.world.machine }
 
 // Charge advances the virtual clock by the modeled time of f flops and
 // books it as computation (and the flop count itself, for TotalFlops).

@@ -152,9 +152,21 @@ type World struct {
 	hook    TransportHook
 	tl      *trace.Timeline
 
+	base float64 // virtual-time origin of every rank's clock (recovery resume)
+
 	abortOnce   sync.Once
 	finalClocks clockBoard
 }
+
+// SetBaseClock sets the virtual-time origin of every rank's clock. A
+// recovery supervisor uses it to make a restarted world resume where the
+// failed one stopped (plus any modeled restart penalty), so the α–β model
+// charges recovery like any other cost. Call it before Run.
+func (w *World) SetBaseClock(sec float64) { w.base = sec }
+
+// BaseClock returns the virtual-time origin set by SetBaseClock (0 for a
+// fresh world).
+func (w *World) BaseClock() float64 { return w.base }
 
 // SetTransportHook installs a fault-injection hook intercepting every
 // remote transfer. Call it before Run; the hook must be concurrency-safe.
@@ -218,8 +230,19 @@ func (w *World) Run(f func(c *Comm) error) error {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			c := &Comm{
+				world: w,
+				rank:  rank,
+				rng:   rand.New(rand.NewSource(w.seed*1000003 + int64(rank))),
+				rec:   w.tl.Rank(rank),
+				clock: w.base,
+			}
 			defer func() {
 				if rec := recover(); rec != nil {
+					// Commit the rank's clock even on the failure path: a
+					// recovery supervisor reads MaxClock of an aborted
+					// world to price the lost work honestly.
+					w.finalClocks.set(rank, c.clock)
 					var crash *CrashError
 					switch err, ok := rec.(error); {
 					case ok && errors.Is(err, ErrAborted):
@@ -238,12 +261,6 @@ func (w *World) Run(f func(c *Comm) error) error {
 					w.abort()
 				}
 			}()
-			c := &Comm{
-				world: w,
-				rank:  rank,
-				rng:   rand.New(rand.NewSource(w.seed*1000003 + int64(rank))),
-				rec:   w.tl.Rank(rank),
-			}
 			err := f(c)
 			w.finalClocks.set(rank, c.clock)
 			if err != nil {

@@ -1,0 +1,210 @@
+package smo
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Checkpoint is a deterministic snapshot of a solver's optimisation state:
+// everything Restore needs to resume the exact trajectory from iteration
+// Iters. The kernel-row cache is deliberately excluded — it is a pure
+// performance artifact, and LocalExtremes charges the same 2·|active| flops
+// whether the extremes come from the fused cache or a fresh scan, so a
+// restored solver is bit- and flop-identical to one that never stopped.
+type Checkpoint struct {
+	// Iters is the iteration count the snapshot was taken at.
+	Iters int
+	// Final marks a snapshot taken after convergence: restoring it lets
+	// Solve fast-forward the whole solve (replay after a crash skips
+	// completed work entirely).
+	Final bool
+
+	// Alpha and F are the dual multipliers and optimality values, length m.
+	Alpha []float64
+	F     []float64
+
+	// Shrinking state (nil Active when shrinking is off or the active set
+	// was never initialised).
+	Active      []int32
+	Shrunk      bool
+	SinceShrink int
+	ShrinkCount int
+}
+
+// Clone returns a deep copy.
+func (ck *Checkpoint) Clone() *Checkpoint {
+	out := *ck
+	out.Alpha = append([]float64(nil), ck.Alpha...)
+	out.F = append([]float64(nil), ck.F...)
+	out.Active = append([]int32(nil), ck.Active...)
+	return &out
+}
+
+// Snapshot captures the solver's current state as a Checkpoint. The
+// returned snapshot owns its slices (the solver keeps mutating the live
+// state), so it can be stored or serialized freely.
+func (s *Solver) Snapshot() *Checkpoint {
+	ck := &Checkpoint{
+		Iters:       s.iters,
+		Alpha:       append([]float64(nil), s.alpha...),
+		F:           append([]float64(nil), s.f...),
+		Shrunk:      s.shrunk,
+		SinceShrink: s.sinceShrink,
+		ShrinkCount: s.shrinkCount,
+	}
+	if s.cfg.Shrinking && len(s.active) > 0 {
+		ck.Active = make([]int32, len(s.active))
+		for i, v := range s.active {
+			ck.Active[i] = int32(v)
+		}
+	}
+	return ck
+}
+
+// restore overwrites the solver's state from a checkpoint (called by New
+// when cfg.Restore is set). The cached working-set extremes are left
+// invalid, so the next LocalExtremes performs a fresh scan — which charges
+// exactly what the fused cache it replaces would have, keeping restored
+// runs flop-identical to uninterrupted ones.
+func (s *Solver) restore(ck *Checkpoint) error {
+	m := len(s.y)
+	if len(ck.Alpha) != m || len(ck.F) != m {
+		return fmt.Errorf("smo: checkpoint for %d samples, solver has %d", len(ck.Alpha), m)
+	}
+	copy(s.alpha, ck.Alpha)
+	copy(s.f, ck.F)
+	s.iters = ck.Iters
+	s.shrunk = ck.Shrunk
+	s.sinceShrink = ck.SinceShrink
+	s.shrinkCount = ck.ShrinkCount
+	if ck.Active != nil {
+		s.active = s.active[:0]
+		for _, v := range ck.Active {
+			if int(v) < 0 || int(v) >= m {
+				return fmt.Errorf("smo: checkpoint active index %d outside [0,%d)", v, m)
+			}
+			s.active = append(s.active, int(v))
+		}
+	}
+	s.invalidateExtremes()
+	return nil
+}
+
+// ckptMagic heads the serialized checkpoint format.
+const ckptMagic = "casvm-ckpt v1\n"
+
+// Encode serializes the checkpoint with the repository's little-endian
+// wire conventions (the same layout style internal/model uses): a magic
+// header, fixed-width scalars, then the float64 vectors at full precision
+// — snapshots must be exact for restored trajectories to be bit-identical.
+func (ck *Checkpoint) Encode() []byte {
+	m := len(ck.Alpha)
+	buf := make([]byte, 0, len(ckptMagic)+4+8+1+8+8+16*m+4+4*len(ck.Active))
+	buf = append(buf, ckptMagic...)
+	var flags byte
+	if ck.Final {
+		flags |= 1
+	}
+	if ck.Shrunk {
+		flags |= 2
+	}
+	if ck.Active != nil {
+		flags |= 4
+	}
+	buf = append(buf, flags)
+	var w [8]byte
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(w[:], v)
+		buf = append(buf, w[:]...)
+	}
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(w[:4], v)
+		buf = append(buf, w[:4]...)
+	}
+	put32(uint32(m))
+	put64(uint64(ck.Iters))
+	put64(uint64(ck.SinceShrink))
+	put64(uint64(ck.ShrinkCount))
+	for _, v := range ck.Alpha {
+		put64(math.Float64bits(v))
+	}
+	for _, v := range ck.F {
+		put64(math.Float64bits(v))
+	}
+	put32(uint32(len(ck.Active)))
+	for _, v := range ck.Active {
+		put32(uint32(v))
+	}
+	return buf
+}
+
+// DecodeCheckpoint parses a buffer produced by Encode.
+func DecodeCheckpoint(buf []byte) (*Checkpoint, error) {
+	if len(buf) < len(ckptMagic) || string(buf[:len(ckptMagic)]) != ckptMagic {
+		return nil, fmt.Errorf("smo: not a checkpoint (bad magic)")
+	}
+	buf = buf[len(ckptMagic):]
+	need := func(n int) error {
+		if len(buf) < n {
+			return fmt.Errorf("smo: truncated checkpoint")
+		}
+		return nil
+	}
+	if err := need(1 + 4 + 24); err != nil {
+		return nil, err
+	}
+	flags := buf[0]
+	buf = buf[1:]
+	m := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if m < 0 || m > 1<<28 {
+		return nil, fmt.Errorf("smo: checkpoint claims %d samples", m)
+	}
+	ck := &Checkpoint{
+		Final:  flags&1 != 0,
+		Shrunk: flags&2 != 0,
+	}
+	ck.Iters = int(binary.LittleEndian.Uint64(buf))
+	ck.SinceShrink = int(binary.LittleEndian.Uint64(buf[8:]))
+	ck.ShrinkCount = int(binary.LittleEndian.Uint64(buf[16:]))
+	buf = buf[24:]
+	if err := need(16 * m); err != nil {
+		return nil, err
+	}
+	ck.Alpha = make([]float64, m)
+	ck.F = make([]float64, m)
+	for i := range ck.Alpha {
+		ck.Alpha[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	buf = buf[8*m:]
+	for i := range ck.F {
+		ck.F[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	buf = buf[8*m:]
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	na := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if na < 0 || na > m {
+		return nil, fmt.Errorf("smo: checkpoint active set of %d in %d samples", na, m)
+	}
+	if flags&4 != 0 {
+		if err := need(4 * na); err != nil {
+			return nil, err
+		}
+		ck.Active = make([]int32, na)
+		for i := range ck.Active {
+			ck.Active[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	}
+	return ck, nil
+}
+
+// Bytes reports the serialized size of the checkpoint without encoding it,
+// for cost accounting (the α–β model charges the write to stable store
+// like any other transfer of this many bytes).
+func (ck *Checkpoint) Bytes() int {
+	return len(ckptMagic) + 1 + 4 + 24 + 16*len(ck.Alpha) + 4 + 4*len(ck.Active)
+}

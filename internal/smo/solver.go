@@ -66,6 +66,24 @@ type Config struct {
 	// error. Fault injection uses it to crash a rank at iteration k even
 	// in training phases that never touch the network.
 	Interrupt func(iter int) error
+	// CheckpointEvery takes a state snapshot every this many iterations
+	// (plus one final snapshot at convergence) and hands it to
+	// CheckpointSink. 0 — the default — disables checkpointing entirely;
+	// the Solve loop then pays a single predictable branch per iteration
+	// and the nil-sink hot paths stay allocation-free.
+	CheckpointEvery int
+	// CheckpointSink receives each snapshot. The snapshot owns its slices,
+	// so the sink may retain or serialize it. It runs on the solver's
+	// goroutine, before the Interrupt poll of the same iteration — a rank
+	// crashed at iteration k has already deposited every checkpoint due at
+	// or before k.
+	CheckpointSink func(*Checkpoint)
+	// Restore, when non-nil, resumes the solve from a snapshot instead of
+	// starting at α = 0 (it overrides any warm start). A restored solver
+	// replays the exact trajectory of the run that took the snapshot:
+	// results and flop charges are bit-identical to never having stopped.
+	// A Final snapshot fast-forwards the whole solve.
+	Restore *Checkpoint
 	// Trace, when non-nil, records per-phase timeline spans (scan, update,
 	// shrink, kernel-row fills) into the rank's recorder. Nil — the
 	// default — keeps every instrumentation site on the zero-allocation
@@ -210,6 +228,15 @@ func New(x *la.Matrix, y []float64, cfg Config, warm []float64) (*Solver, error)
 	// f_i = Σ_j α_j y_j K_ij − y_i ; with α = 0 this is just −y_i.
 	for i := range s.f {
 		s.f[i] = -y[i]
+	}
+	if cfg.Restore != nil {
+		// Resuming from a snapshot: the checkpoint state supersedes any
+		// warm start (the warm-start f rebuild would be discarded anyway,
+		// and skipping it keeps restored flop charges honest).
+		if err := s.restore(cfg.Restore); err != nil {
+			return nil, err
+		}
+		return s, nil
 	}
 	if warm != nil {
 		copy(s.alpha, warm)
@@ -522,7 +549,22 @@ func Solve(x *la.Matrix, y []float64, cfg Config, warm []float64) (*Result, erro
 		maxIter = 100*x.Rows() + 10000
 	}
 	converged := false
-	for s.iters < maxIter {
+	if cfg.Restore != nil && cfg.Restore.Final {
+		// The snapshot was taken after convergence: fast-forward. The bias
+		// recomputation below reads the restored f, so the result matches
+		// the original solve exactly.
+		converged = true
+	}
+	lastCkpt := -1
+	if cfg.Restore != nil {
+		lastCkpt = cfg.Restore.Iters // don't immediately re-deposit the restore point
+	}
+	for !converged && s.iters < maxIter {
+		if cfg.CheckpointEvery > 0 && cfg.CheckpointSink != nil &&
+			s.iters > 0 && s.iters%cfg.CheckpointEvery == 0 && s.iters != lastCkpt {
+			lastCkpt = s.iters
+			cfg.CheckpointSink(s.Snapshot())
+		}
 		if cfg.Interrupt != nil {
 			if err := cfg.Interrupt(s.iters); err != nil {
 				return nil, err
@@ -535,6 +577,13 @@ func Solve(x *la.Matrix, y []float64, cfg Config, warm []float64) (*Result, erro
 		if cfg.Telemetry != nil {
 			s.sampleTelemetry()
 		}
+	}
+	if converged && cfg.CheckpointEvery > 0 && cfg.CheckpointSink != nil &&
+		!(cfg.Restore != nil && cfg.Restore.Final) {
+		// Final snapshot: a replay after a later crash skips this solve.
+		ck := s.Snapshot()
+		ck.Final = true
+		cfg.CheckpointSink(ck)
 	}
 	b := s.Bias()
 	s.recordMetrics()

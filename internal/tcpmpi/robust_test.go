@@ -3,6 +3,7 @@ package tcpmpi
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"sync"
@@ -117,6 +118,11 @@ func TestSilentPeerDetected(t *testing.T) {
 	opt := Options{
 		HeartbeatInterval: 50 * time.Millisecond,
 		HeartbeatTimeout:  250 * time.Millisecond,
+		// Small reconnect budget: the listener side waits it out before
+		// declaring the silent peer dead, and this test wants that verdict
+		// well inside its deadline.
+		ReconnectAttempts:   1,
+		ReconnectBackoffMax: 100 * time.Millisecond,
 	}
 	done := make(chan error, 1)
 	go func() {
@@ -142,10 +148,16 @@ func TestSilentPeerDetected(t *testing.T) {
 		t.Fatal("could not reach rank 0's listener")
 	}
 	defer conn.Close()
-	var hello [4]byte
-	binary.LittleEndian.PutUint32(hello[:], 1)
+	var hello [helloLen]byte
+	binary.LittleEndian.PutUint32(hello[0:4], 1)
+	binary.LittleEndian.PutUint32(hello[8:12], helloFresh)
 	if _, err := conn.Write(hello[:]); err != nil {
 		t.Fatal(err)
+	}
+	var reply [replyLen]byte
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, reply[:]); err != nil {
+		t.Fatalf("handshake reply: %v", err)
 	}
 	select {
 	case err := <-done:

@@ -20,16 +20,28 @@
 // control frames and purely observational otherwise.
 //
 // Connection setup: rank i listens on addrs[i]; every pair (i < j) shares
-// one connection dialed by j, which introduces itself with a 4-byte rank
-// header.
+// one connection dialed by j, which introduces itself with a 12-byte hello
+// (rank, the highest data seq it has received from the acceptor, flags);
+// the acceptor answers with an 8-byte reply carrying its own received seq.
+// The exchanged sequence numbers make every (re)connection a resume
+// handshake: each side replays buffered sent frames the other has not seen
+// (bounded by Options.ReplayWindow), and the receiver's seq dedup turns the
+// at-least-once replay into exactly-once delivery. Hello flag bit 0 marks a
+// fresh incarnation — a dialer process connecting to this peer for the
+// first time (e.g. a respawned worker); the acceptor then resets its
+// per-peer sequence state so the new process's numbering starts clean.
 //
 // Fault tolerance: every connection carries periodic heartbeat frames, so
 // a silently dead peer is detected within a bounded interval
-// (Options.HeartbeatTimeout). A broken connection gets one reconnect
-// attempt — the original dialer (higher rank) re-dials, the listener side
-// waits for the replacement — before the peer is declared dead; sends are
-// retried with exponential backoff across the reconnect, and per-operation
-// deadlines (Options.Timeout) bound how long Send/Recv can block.
+// (Options.HeartbeatTimeout). A broken connection is re-established by the
+// original dialer (higher rank) with capped exponential backoff plus
+// jitter (Options.ReconnectAttempts/ReconnectBackoff/ReconnectBackoffMax)
+// while the listener side waits out the dialer's budget — only then is the
+// peer declared dead. Sends are retried with exponential backoff across
+// the reconnect, and per-operation deadlines (Options.Timeout) bound how
+// long Send/Recv can block. A peer that re-dials after being declared dead
+// is resurrected (the death mark clears on the fresh connection), which is
+// what lets an elastic supervisor re-spawn a lost worker process.
 package tcpmpi
 
 import (
@@ -38,6 +50,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -93,8 +106,36 @@ type Options struct {
 	RetryBackoff time.Duration
 
 	// DisableReconnect declares a rank dead on the first connection
-	// failure instead of allowing the single reconnect attempt.
+	// failure instead of attempting any reconnects.
 	DisableReconnect bool
+
+	// ReconnectAttempts is how many times the dialer side re-dials a
+	// broken connection before declaring the peer dead. 0 means 4.
+	ReconnectAttempts int
+
+	// ReconnectBackoff is the delay before the second reconnect attempt,
+	// doubled per attempt up to ReconnectBackoffMax, with up to 50%
+	// additive jitter so restarted fleets do not re-dial in lockstep.
+	// 0 means 100ms.
+	ReconnectBackoff time.Duration
+
+	// ReconnectBackoffMax caps the exponential reconnect backoff.
+	// 0 means 2s.
+	ReconnectBackoffMax time.Duration
+
+	// ReplayWindow is how many sent data frames each peer connection
+	// retains for the resume handshake: on reconnect, frames the other
+	// side has not acknowledged receiving are replayed (receiver-side seq
+	// dedup keeps delivery exactly-once). 0 means 64; negative disables
+	// replay (reconnects resume without redelivery).
+	ReplayWindow int
+
+	// Peers, when non-nil, restricts the mesh to the listed ranks: only
+	// they are dialed/awaited at setup and heartbeated, and Send/Recv to
+	// any other rank fails immediately. An elastic worker that only talks
+	// to a coordinator joins with Peers: []int{0} instead of paying the
+	// full-mesh handshake. Nil keeps the complete mesh.
+	Peers []int
 
 	// Metrics, when non-nil, receives transport health counters and the
 	// heartbeat-gap histogram (time between keepalives actually observed
@@ -134,7 +175,27 @@ func (o Options) withDefaults() Options {
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = 50 * time.Millisecond
 	}
+	if o.ReconnectAttempts <= 0 {
+		o.ReconnectAttempts = 4
+	}
+	if o.ReconnectBackoff <= 0 {
+		o.ReconnectBackoff = 100 * time.Millisecond
+	}
+	if o.ReconnectBackoffMax <= 0 {
+		o.ReconnectBackoffMax = 2 * time.Second
+	}
+	if o.ReplayWindow == 0 {
+		o.ReplayWindow = 64
+	}
 	return o
+}
+
+// reconnectBudget bounds how long the listener side waits for the dialer's
+// reconnect attempts before declaring the peer dead: the silence-detection
+// window plus headroom for every backed-off dial.
+func (o Options) reconnectBudget() time.Duration {
+	return o.HeartbeatTimeout +
+		time.Duration(o.ReconnectAttempts)*(o.ReconnectBackoffMax+time.Second)
 }
 
 // writeDeadline returns the deadline for one frame write (zero time = none).
@@ -148,6 +209,14 @@ func (o Options) writeDeadline() time.Duration {
 	return 0
 }
 
+// sentFrame is one retained data frame in a peer's replay ring.
+type sentFrame struct {
+	seq    uint32
+	tag    int
+	sendNs int64
+	data   []byte
+}
+
 // peer is the connection state for one remote rank.
 type peer struct {
 	mu       sync.Mutex
@@ -157,8 +226,37 @@ type peer struct {
 	lastSeen time.Time
 	recvSeq  uint32 // highest data seq received (dedup across reconnects)
 
-	sendMu  sync.Mutex // serializes whole send operations, incl. retries
-	sendSeq uint32     // data frames sent (guarded by sendMu)
+	sendMu      sync.Mutex  // serializes whole send operations, incl. retries
+	sendSeq     uint32      // data frames sent (guarded by sendMu)
+	ring        []sentFrame // recent data frames for resume replay (guarded by sendMu)
+	replayedSeq uint32      // highest seq redelivered by a resume handshake (guarded by sendMu)
+}
+
+// remember appends a sent data frame to the replay ring, bounded by the
+// configured window. Caller holds sendMu.
+func (p *peer) remember(f sentFrame, window int) {
+	if window <= 0 {
+		return
+	}
+	p.ring = append(p.ring, f)
+	if len(p.ring) > window {
+		copy(p.ring, p.ring[len(p.ring)-window:])
+		p.ring = p.ring[:window]
+	}
+}
+
+// unacked returns the retained frames with seq greater than after, in send
+// order — what the resume handshake replays.
+func (p *peer) unacked(after uint32) []sentFrame {
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	var out []sentFrame
+	for _, f := range p.ring {
+		if f.seq > after {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 func (p *peer) touch() {
@@ -173,6 +271,7 @@ type Comm struct {
 	addrs      []string
 	opt        Options
 	peers      []*peer
+	peerSet    map[int]bool // nil = full mesh; else the ranks this Comm talks to
 	ln         net.Listener // nil for size-1 worlds
 
 	mu     sync.Mutex
@@ -188,11 +287,14 @@ type Comm struct {
 
 	// Metric handles resolved once at Dial; all nil (no-op) without a
 	// registry in Options.Metrics.
-	mHBGap      *trace.Histogram // observed gap between keepalives, seconds
-	mReconnects *trace.Counter   // successful connection replacements
-	mRetries    *trace.Counter   // send attempts that had to be retried
-	mPeerDead   *trace.Counter   // peers declared dead
-	mSentBytes  *trace.Counter   // data payload bytes written (excl. retries' duplicates)
+	mHBGap         *trace.Histogram // observed gap between keepalives, seconds
+	mReconnects    *trace.Counter   // successful connection replacements
+	mReconnTries   *trace.Counter   // reconnect dial attempts (incl. failures)
+	mReconnBackoff *trace.Counter   // milliseconds slept in reconnect backoff
+	mRetries       *trace.Counter   // send attempts that had to be retried
+	mReplayed      *trace.Counter   // data frames replayed by resume handshakes
+	mPeerDead      *trace.Counter   // peers declared dead
+	mSentBytes     *trace.Counter   // data payload bytes written (excl. retries' duplicates)
 
 	// rec is this rank's trace recorder (nil without Options.Timeline).
 	// Only the goroutine driving Send/Recv/collectives touches it — the
@@ -242,12 +344,26 @@ func DialOptions(rank int, addrs []string, opt Options) (*Comm, error) {
 			trace.ExpBuckets(0.001, 4, 8))
 		c.mReconnects = reg.Counter("tcpmpi_reconnects_total",
 			"Connections successfully replaced after a failure.")
+		c.mReconnTries = reg.Counter("tcpmpi_reconnect_attempts_total",
+			"Reconnect dial attempts, including ones that failed.")
+		c.mReconnBackoff = reg.Counter("tcpmpi_reconnect_backoff_ms_total",
+			"Milliseconds slept in reconnect backoff (with jitter).")
 		c.mRetries = reg.Counter("tcpmpi_send_retries_total",
 			"Send attempts that failed and were retried.")
+		c.mReplayed = reg.Counter("tcpmpi_replayed_frames_total",
+			"Data frames replayed to a peer by resume handshakes.")
 		c.mPeerDead = reg.Counter("tcpmpi_peer_failures_total",
 			"Peers declared dead after recovery failed.")
 		c.mSentBytes = reg.Counter("tcpmpi_sent_bytes_total",
 			"Data payload bytes handed to Send.")
+	}
+	if opt.Peers != nil {
+		c.peerSet = map[int]bool{}
+		for _, r := range opt.Peers {
+			if r >= 0 && r < size && r != rank {
+				c.peerSet[r] = true
+			}
+		}
 	}
 	if size == 1 {
 		return c, nil
@@ -260,19 +376,23 @@ func DialOptions(rank int, addrs []string, opt Options) (*Comm, error) {
 	c.ln = ln
 	go c.acceptLoop(ln)
 
-	// Dial every lower rank.
+	// Dial every lower rank in the mesh (or peer subset).
 	var wg sync.WaitGroup
 	errCh := make(chan error, size)
 	for dst := 0; dst < rank; dst++ {
+		if !c.isPeer(dst) {
+			continue
+		}
 		wg.Add(1)
 		go func(dst int) {
 			defer wg.Done()
-			conn, err := c.dialPeer(dst)
+			conn, theirRecv, err := c.dialPeer(dst)
 			if err != nil {
 				errCh <- err
 				return
 			}
 			c.installConn(dst, conn)
+			c.replayUnacked(dst, conn, theirRecv)
 		}(dst)
 	}
 	wg.Wait()
@@ -288,6 +408,9 @@ func DialOptions(rank int, addrs []string, opt Options) (*Comm, error) {
 	for {
 		missing := -1
 		for r := rank + 1; r < size; r++ {
+			if !c.isPeer(r) {
+				continue
+			}
 			c.peers[r].mu.Lock()
 			up := c.peers[r].conn != nil
 			c.peers[r].mu.Unlock()
@@ -312,9 +435,22 @@ func DialOptions(rank int, addrs []string, opt Options) (*Comm, error) {
 	return c, nil
 }
 
-// dialPeer establishes (or re-establishes) the connection to a lower rank
-// and performs the hello handshake.
-func (c *Comm) dialPeer(dst int) (net.Conn, error) {
+// helloLen is the dialer's resume hello: u32 rank | u32 recvSeq | u32
+// flags. replyLen is the acceptor's answer: u32 recvSeq | u32 reserved.
+const (
+	helloLen = 12
+	replyLen = 8
+)
+
+// helloFresh (hello flags bit 0) marks the dialer as a fresh incarnation:
+// its first-ever connection to this peer, with zeroed sequence state.
+const helloFresh = 1
+
+// dialPeer establishes (or re-establishes) the connection to a lower rank,
+// retrying the TCP dial until the dial timeout, and performs the resume
+// handshake. It returns the peer's received-seq watermark — the replay
+// point for frames it never saw.
+func (c *Comm) dialPeer(dst int) (net.Conn, uint32, error) {
 	deadline := time.Now().Add(c.opt.DialTimeout)
 	var conn net.Conn
 	var err error
@@ -325,22 +461,126 @@ func (c *Comm) dialPeer(dst int) (net.Conn, error) {
 		}
 		select {
 		case <-c.done:
-			return nil, errors.New("tcpmpi: closed during dial")
+			return nil, 0, errors.New("tcpmpi: closed during dial")
 		case <-time.After(50 * time.Millisecond):
 		}
 	}
 	if err != nil {
-		return nil, fmt.Errorf("tcpmpi: dial rank %d at %s: %w", dst, c.addrs[dst], err)
+		return nil, 0, fmt.Errorf("tcpmpi: dial rank %d at %s: %w", dst, c.addrs[dst], err)
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(c.rank))
-	conn.SetWriteDeadline(time.Now().Add(c.opt.DialTimeout))
-	if _, err := conn.Write(hdr[:]); err != nil {
+	theirRecv, err := c.dialHandshake(conn, dst)
+	if err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("tcpmpi: hello to rank %d: %w", dst, err)
+		return nil, 0, err
+	}
+	return conn, theirRecv, nil
+}
+
+// dialPeerOnce is dialPeer with a single TCP dial attempt — the reconnect
+// loop owns its own backoff schedule, so the inner retry loop would fight
+// it.
+func (c *Comm) dialPeerOnce(dst int) (net.Conn, uint32, error) {
+	conn, err := net.DialTimeout("tcp", c.addrs[dst], c.opt.ReconnectBackoffMax)
+	if err != nil {
+		return nil, 0, fmt.Errorf("tcpmpi: dial rank %d at %s: %w", dst, c.addrs[dst], err)
+	}
+	theirRecv, err := c.dialHandshake(conn, dst)
+	if err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	return conn, theirRecv, nil
+}
+
+// dialHandshake runs the dialer side of the resume handshake: send our rank
+// and received-seq watermark, read back the acceptor's watermark.
+func (c *Comm) dialHandshake(conn net.Conn, dst int) (uint32, error) {
+	p := c.peers[dst]
+	p.mu.Lock()
+	ourRecv := p.recvSeq
+	fresh := p.gen == 0 // no connection ever installed: first incarnation
+	p.mu.Unlock()
+	var flags uint32
+	if fresh {
+		flags |= helloFresh
+	}
+	var hello [helloLen]byte
+	binary.LittleEndian.PutUint32(hello[0:4], uint32(c.rank))
+	binary.LittleEndian.PutUint32(hello[4:8], ourRecv)
+	binary.LittleEndian.PutUint32(hello[8:12], flags)
+	conn.SetWriteDeadline(time.Now().Add(c.opt.DialTimeout))
+	if _, err := conn.Write(hello[:]); err != nil {
+		return 0, fmt.Errorf("tcpmpi: hello to rank %d: %w", dst, err)
 	}
 	conn.SetWriteDeadline(time.Time{})
-	return conn, nil
+	var reply [replyLen]byte
+	conn.SetReadDeadline(time.Now().Add(c.opt.DialTimeout))
+	if _, err := io.ReadFull(conn, reply[:]); err != nil {
+		return 0, fmt.Errorf("tcpmpi: hello reply from rank %d: %w", dst, err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	return binary.LittleEndian.Uint32(reply[0:4]), nil
+}
+
+// replayUnacked re-sends the retained data frames the peer has not seen
+// (seq > theirRecv) over a fresh connection — the sender half of the
+// resume handshake. Receiver-side dedup keeps redelivery exactly-once.
+// Frames are pulled from the ring one at a time so a concurrent Send that
+// fails (and scrubs its frame) is not redelivered from a stale snapshot.
+func (c *Comm) replayUnacked(src int, conn net.Conn, theirRecv uint32) {
+	p := c.peers[src]
+	after := theirRecv
+	replayed := 0
+	for {
+		p.sendMu.Lock()
+		var f sentFrame
+		found := false
+		for i := range p.ring {
+			if p.ring[i].seq > after {
+				f, found = p.ring[i], true
+				break
+			}
+		}
+		p.sendMu.Unlock()
+		if !found {
+			break
+		}
+		if err := c.writeFrame(p, conn, f.tag, f.seq, f.sendNs, f.data); err != nil {
+			return // the read loop notices the broken conn; next reconnect replays again
+		}
+		// A replayed frame is a successful transmission: a Send stuck in
+		// its retry loop for this seq can report success instead of
+		// re-sending (the receiver would dedup the duplicate anyway).
+		p.sendMu.Lock()
+		if f.seq > p.replayedSeq {
+			p.replayedSeq = f.seq
+		}
+		p.sendMu.Unlock()
+		after = f.seq
+		replayed++
+	}
+	if replayed > 0 {
+		c.mReplayed.Add(int64(replayed))
+	}
+}
+
+// finishSend resolves a send that is about to report failure: if a resume
+// handshake already replayed the frame it is a success after all (true);
+// otherwise the frame is scrubbed from the replay ring, so a later
+// reconnect cannot deliver a message the caller was told had failed.
+func (c *Comm) finishSend(p *peer, seq uint32) bool {
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	if p.replayedSeq >= seq {
+		return true
+	}
+	for i := range p.ring {
+		if p.ring[i].seq == seq {
+			p.ring = append(p.ring[:i], p.ring[i+1:]...)
+			break
+		}
+	}
+	return false
 }
 
 // acceptLoop runs for the life of the Comm: it accepts initial connections
@@ -364,25 +604,57 @@ func (c *Comm) acceptLoop(ln net.Listener) {
 			return
 		}
 		go func(conn net.Conn) {
-			var hdr [4]byte
+			var hello [helloLen]byte
 			conn.SetReadDeadline(time.Now().Add(c.opt.DialTimeout))
-			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			if _, err := io.ReadFull(conn, hello[:]); err != nil {
 				conn.Close() // silent or half-open client: drop it
 				return
 			}
 			conn.SetReadDeadline(time.Time{})
-			src := int(binary.LittleEndian.Uint32(hdr[:]))
+			src := int(binary.LittleEndian.Uint32(hello[0:4]))
 			if src <= c.rank || src >= c.size {
 				conn.Close() // bogus hello
 				return
 			}
+			theirRecv := binary.LittleEndian.Uint32(hello[4:8])
+			flags := binary.LittleEndian.Uint32(hello[8:12])
+			p := c.peers[src]
+			if flags&helloFresh != 0 {
+				// A fresh incarnation (respawned process) numbers its
+				// frames from 1 again and remembers nothing of ours:
+				// reset our per-peer sequence state to match.
+				p.mu.Lock()
+				p.recvSeq = 0
+				p.mu.Unlock()
+				p.sendMu.Lock()
+				p.sendSeq = 0
+				p.ring = nil
+				p.replayedSeq = 0
+				p.sendMu.Unlock()
+			}
+			// Answer with our received-seq watermark so the dialer can
+			// replay what we never saw.
+			p.mu.Lock()
+			ourRecv := p.recvSeq
+			p.mu.Unlock()
+			var reply [replyLen]byte
+			binary.LittleEndian.PutUint32(reply[0:4], ourRecv)
+			conn.SetWriteDeadline(time.Now().Add(c.opt.DialTimeout))
+			if _, err := conn.Write(reply[:]); err != nil {
+				conn.Close()
+				return
+			}
+			conn.SetWriteDeadline(time.Time{})
 			c.installConn(src, conn)
+			c.replayUnacked(src, conn, theirRecv)
 		}(conn)
 	}
 }
 
 // installConn swaps in a fresh connection for src (initial setup or
-// reconnect) and starts its reader.
+// reconnect) and starts its reader. A fresh connection also resurrects a
+// peer previously declared dead — the elastic-recovery path where a
+// supervisor respawns a crashed worker process, which then re-dials.
 func (c *Comm) installConn(src int, conn net.Conn) {
 	p := c.peers[src]
 	p.mu.Lock()
@@ -395,6 +667,10 @@ func (c *Comm) installConn(src int, conn net.Conn) {
 	p.lastSeen = time.Now()
 	gen := p.gen
 	p.mu.Unlock()
+	c.mu.Lock()
+	delete(c.dead, src)
+	c.mu.Unlock()
+	c.cond.Broadcast()
 	go c.readLoop(src, conn, gen)
 }
 
@@ -431,6 +707,10 @@ func (c *Comm) isClosed() bool {
 	defer c.mu.Unlock()
 	return c.closed != nil
 }
+
+// isPeer reports whether this Comm talks to rank r — always true for the
+// full mesh, the Options.Peers subset otherwise.
+func (c *Comm) isPeer(r int) bool { return c.peerSet == nil || c.peerSet[r] }
 
 // parseFrameHeader decodes one 20-byte frame header, rejecting oversized
 // payload lengths.
@@ -536,27 +816,56 @@ func (c *Comm) recoverPeer(src, gen int, cause error) {
 		return
 	}
 	if src < c.rank {
-		// We dialed this peer originally: one reconnect attempt.
-		conn, err := c.dialPeer(src)
-		if err != nil {
-			c.fail(src, fmt.Errorf("tcpmpi: rank %d dead (reconnect failed: %v): %w", src, err, cause))
-			return
+		// We dialed this peer originally: re-dial with capped exponential
+		// backoff plus jitter, then resume-handshake and replay.
+		backoff := c.opt.ReconnectBackoff
+		var lastErr error
+		for attempt := 1; attempt <= c.opt.ReconnectAttempts; attempt++ {
+			if c.isClosed() {
+				return
+			}
+			c.mReconnTries.Add(1)
+			conn, theirRecv, err := c.dialPeerOnce(src)
+			if err == nil {
+				p := c.peers[src]
+				p.mu.Lock()
+				stale := p.gen != gen
+				p.mu.Unlock()
+				if stale {
+					conn.Close() // someone else already recovered
+					return
+				}
+				c.installConn(src, conn)
+				c.replayUnacked(src, conn, theirRecv)
+				c.mReconnects.Add(1)
+				return
+			}
+			lastErr = err
+			if attempt == c.opt.ReconnectAttempts {
+				break
+			}
+			// Additive jitter up to 50% keeps a restarted fleet from
+			// hammering the listener in lockstep.
+			sleep := backoff + time.Duration(rand.Int63n(int64(backoff/2)+1))
+			c.mReconnBackoff.Add(sleep.Milliseconds())
+			select {
+			case <-c.done:
+				return
+			case <-time.After(sleep):
+			}
+			backoff *= 2
+			if backoff > c.opt.ReconnectBackoffMax {
+				backoff = c.opt.ReconnectBackoffMax
+			}
 		}
-		p := c.peers[src]
-		p.mu.Lock()
-		stale := p.gen != gen
-		p.mu.Unlock()
-		if stale {
-			conn.Close() // someone else already recovered
-			return
-		}
-		c.installConn(src, conn)
-		c.mReconnects.Add(1)
+		c.fail(src, fmt.Errorf("tcpmpi: rank %d dead (%d reconnect attempts failed, last: %v): %w",
+			src, c.opt.ReconnectAttempts, lastErr, cause))
 		return
 	}
-	// The peer dialed us: wait for it to re-dial within the detection
-	// bound, then give up.
-	deadline := time.Now().Add(c.opt.HeartbeatTimeout)
+	// The peer dialed us: wait out its reconnect budget (its backed-off
+	// dials plus detection latency), then give up.
+	budget := c.opt.reconnectBudget()
+	deadline := time.Now().Add(budget)
 	for time.Now().Before(deadline) {
 		select {
 		case <-c.done:
@@ -572,7 +881,7 @@ func (c *Comm) recoverPeer(src, gen int, cause error) {
 			return
 		}
 	}
-	c.fail(src, fmt.Errorf("tcpmpi: rank %d dead (no reconnect within %v): %w", src, c.opt.HeartbeatTimeout, cause))
+	c.fail(src, fmt.Errorf("tcpmpi: rank %d dead (no reconnect within %v): %w", src, budget, cause))
 }
 
 // heartbeatLoop sends keepalives on every connection and declares peers
@@ -588,7 +897,7 @@ func (c *Comm) heartbeatLoop() {
 		case <-ticker.C:
 		}
 		for r := 0; r < c.size; r++ {
-			if r == c.rank {
+			if r == c.rank || !c.isPeer(r) {
 				continue
 			}
 			if c.isDead(r) {
@@ -666,6 +975,9 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 	if dst < 0 || dst >= c.size {
 		return fmt.Errorf("tcpmpi: send to invalid rank %d", dst)
 	}
+	if dst != c.rank && !c.isPeer(dst) {
+		return fmt.Errorf("tcpmpi: rank %d is not a configured peer", dst)
+	}
 	if dst == c.rank {
 		// Copy: the caller may mutate data after Send returns, and the
 		// queued message must not alias it.
@@ -677,22 +989,41 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 		return nil
 	}
 	p := c.peers[dst]
-	p.sendMu.Lock()
-	p.sendSeq++
-	seq := p.sendSeq
-	p.sendMu.Unlock()
-
 	var sendNs int64
 	if c.rec != nil {
 		sendNs = time.Now().UnixNano()
 	}
+	p.sendMu.Lock()
+	p.sendSeq++
+	seq := p.sendSeq
+	// Retain a copy for resume replay: a reconnect handshake re-sends
+	// whatever the peer's watermark says it never received.
+	p.remember(sentFrame{seq: seq, tag: tag, sendNs: sendNs,
+		data: append([]byte(nil), data...)}, c.opt.ReplayWindow)
+	p.sendMu.Unlock()
+
+	replayed := func() bool {
+		p.sendMu.Lock()
+		defer p.sendMu.Unlock()
+		return p.replayedSeq >= seq
+	}
 	backoff := c.opt.RetryBackoff
 	var lastErr error
 	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
+		if replayed() {
+			// A reconnect's resume handshake already delivered this frame.
+			c.mSentBytes.Add(int64(len(data)))
+			return nil
+		}
 		if err := c.deadErr(dst); err != nil {
+			if c.finishSend(p, seq) {
+				c.mSentBytes.Add(int64(len(data)))
+				return nil
+			}
 			return err
 		}
 		if c.isClosed() {
+			c.finishSend(p, seq)
 			return errors.New("tcpmpi: closed")
 		}
 		p.mu.Lock()
@@ -714,10 +1045,15 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 		c.mRetries.Add(1)
 		select {
 		case <-c.done:
+			c.finishSend(p, seq)
 			return errors.New("tcpmpi: closed")
 		case <-time.After(backoff):
 		}
 		backoff *= 2
+	}
+	if c.finishSend(p, seq) { // the last backoff window can race the reconnect
+		c.mSentBytes.Add(int64(len(data)))
+		return nil
 	}
 	return lastErr
 }
@@ -726,6 +1062,9 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 // declared dead, the Comm closes, or the per-operation deadline
 // (Options.Timeout) expires.
 func (c *Comm) Recv(src, tag int) ([]byte, error) {
+	if src != c.rank && (src < 0 || src >= c.size || !c.isPeer(src)) {
+		return nil, fmt.Errorf("tcpmpi: rank %d is not a configured peer", src)
+	}
 	var deadline time.Time
 	if c.opt.Timeout > 0 {
 		deadline = time.Now().Add(c.opt.Timeout)

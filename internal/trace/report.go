@@ -69,9 +69,16 @@ type Report struct {
 	TimelineEvents  int         `json:"timeline_events,omitempty"`
 	TimelineDropped int64       `json:"timeline_dropped,omitempty"`
 
-	// Failures.
-	LostRanks []int `json:"lost_ranks,omitempty"`
-	Degraded  bool  `json:"degraded,omitempty"`
+	// Failures and recovery.
+	LostRanks   []int   `json:"lost_ranks,omitempty"`
+	Degraded    bool    `json:"degraded,omitempty"`
+	Recoveries  int     `json:"recoveries,omitempty"`
+	RecoverySec float64 `json:"recovery_sec,omitempty"`
+
+	// Faults records the realized fault schedule of a chaos run (seed,
+	// per-event rank/iter/kind), making any failure replayable from the
+	// report alone (`casvm-train -replay-faults`).
+	Faults *FaultsInfo `json:"faults,omitempty"`
 
 	// Flattened metrics snapshot (Registry.Snapshot), when metrics were
 	// attached.
@@ -97,6 +104,36 @@ type CritPathReport struct {
 	Steps        int     `json:"steps"`
 
 	Phases []CritPathPhase `json:"phases,omitempty"`
+}
+
+// FaultEvent is one planned or injected fault in a report's faults block.
+// Kind follows the injector vocabulary: "crash-iter", "crash-send",
+// "drop", "delay", "dup", "corrupt".
+type FaultEvent struct {
+	Kind     string  `json:"kind"`
+	Rank     int     `json:"rank"`
+	Dst      int     `json:"dst,omitempty"`      // receiver for message faults
+	Iter     int     `json:"iter,omitempty"`     // trigger iteration (crash-iter)
+	Send     int     `json:"send,omitempty"`     // 1-based remote-send index (message faults)
+	DelaySec float64 `json:"delay_sec,omitempty"`
+}
+
+// FaultsInfo is the report's faults block: the seeded schedule that was
+// configured plus the events that actually fired, with the recovery policy
+// that handled them. Schedule alone is enough to replay the run.
+type FaultsInfo struct {
+	Seed            int64        `json:"seed"`
+	Policy          string       `json:"recovery_policy,omitempty"`
+	CheckpointEvery int          `json:"checkpoint_every,omitempty"`
+	Schedule        []FaultEvent `json:"schedule,omitempty"`
+	Injected        []FaultEvent `json:"injected,omitempty"`
+}
+
+// FaultReporter is implemented by fault injectors (faults.Schedule's
+// injector) that can describe their schedule and realized events for the
+// report's faults block.
+type FaultReporter interface {
+	FaultsInfo() *FaultsInfo
 }
 
 // CritPathPhase is one algorithm phase's share of the critical path.

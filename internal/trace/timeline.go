@@ -15,6 +15,8 @@ const (
 	CatInit       = "init"       // partitioning and data movement
 	CatTrain      = "train"      // whole-phase per-rank training spans
 	CatFault      = "fault"      // injected/observed failures (instant events)
+	CatCheckpoint = "checkpoint" // solver state snapshots (recovery support)
+	CatRecovery   = "recovery"   // crash recovery: respawn/shrink restarts
 )
 
 // Event is one completed timeline span (or instant marker, when WallDurNs
