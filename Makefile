@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-matrix vet check fuzz fuzz-smoke bench bench-e2e bench-diff serve-smoke soak cover
+.PHONY: build test race race-matrix vet check fuzz fuzz-smoke bench bench-e2e bench-diff serve-smoke soak soak-cluster cover
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,8 @@ race:
 # differently and has caught interleavings the default run missed.
 race-matrix:
 	$(GO) test -race -cpu 1,4 ./internal/mpi ./internal/tcpmpi \
-		./internal/faults ./internal/core ./internal/pool ./internal/trace
+		./internal/faults ./internal/core ./internal/pool ./internal/trace \
+		./internal/cluster
 
 # fuzz-smoke runs every fuzz target's seed corpus (no exploration) so the
 # corpora cannot rot; `make fuzz` does the time-boxed exploration.
@@ -27,9 +28,11 @@ fuzz-smoke:
 	$(GO) test -run 'Fuzz' ./internal/data ./internal/tcpmpi ./internal/trace
 
 # serve-smoke boots the live telemetry server against a real training run
-# held mid-flight and scrapes /metrics, /report, /events and /debug/pprof.
+# held mid-flight (TestServeSmoke) and against a cluster coordinator with
+# per-job namespaces (TestServeClusterNamespaces), scraping /metrics,
+# /report, /events, /jobs and /debug/pprof.
 serve-smoke:
-	$(GO) test -race -count=1 -run TestServeSmoke ./internal/telemetry
+	$(GO) test -race -count=1 -run 'TestServe' ./internal/telemetry
 
 # check is the full verification gate: vet, the whole suite under the race
 # detector (which includes the TestChaosMatrix fault smoke: six methods ×
@@ -44,6 +47,13 @@ check: vet race race-matrix fuzz-smoke serve-smoke
 # the schedule seed, which alone reproduces the run.
 soak:
 	CASVM_SOAK=1 $(GO) test -count=1 -run TestChaosSoak -v ./internal/core
+
+# soak-cluster churns a live coordinator for ~20s: six concurrent jobs over
+# six workers while a chaos goroutine revokes and re-registers leases every
+# 150ms. Every job must terminate (no hangs), at least half must complete,
+# and completed jobs must still converge to accurate models.
+soak-cluster:
+	CASVM_SOAK_CLUSTER=1 $(GO) test -count=1 -timeout 300s -run TestClusterSoak -v ./internal/cluster
 
 # bench runs the SMO hot-path benchmark suite at 1 and 4 threads and
 # records ns/op + allocs/op in BENCH_smo.json (via cmd/benchjson).

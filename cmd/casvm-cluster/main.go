@@ -1,0 +1,150 @@
+// casvm-cluster is the elastic cluster runtime. In coordinator mode it
+// accepts worker and client registrations, gang-schedules submitted
+// training jobs over the worker pool, and converts lease churn into
+// recovery actions: a worker whose lease expires mid-job shrinks (or
+// respawns into) the running world, and a worker joining mid-run grows it
+// back at the next checkpoint epoch — landing on the fault-free model
+// hash for Dis-SMO.
+//
+// Start a coordinator with live telemetry:
+//
+//	casvm-cluster -listen localhost:7600 -serve localhost:9100
+//
+// Join workers (each one extra gang capacity; Ctrl-C leaves cleanly):
+//
+//	casvm-cluster -join localhost:7600
+//
+// Submit jobs with the thin client:
+//
+//	casvm-train -cluster localhost:7600 -data ijcnn -method dissmo -p 8
+//
+// The telemetry server namespaces each job: /jobs lists them and
+// /jobs/<id>/{metrics,report,events} serve one job's counters, outcome
+// and live convergence stream; the top-level /metrics carries the
+// cluster_* membership counters (joins, leaves, lease expiries,
+// scale-ups).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"casvm/internal/cluster"
+	"casvm/internal/telemetry"
+	"casvm/internal/trace"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "localhost:7600", "coordinator registration address (workers and clients dial this)")
+		serve  = flag.String("serve", "", "serve live telemetry on this address: /metrics, /jobs, /jobs/<id>/{metrics,report,events}")
+		ttl    = flag.Duration("lease-ttl", 0, "worker lease TTL; a silent worker is expired after this (0 = 6s default)")
+		join   = flag.String("join", "", "worker mode: register with the coordinator at this address and serve as gang capacity until interrupted")
+	)
+	flag.Parse()
+
+	if *join != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		log.Printf("casvm-cluster: joining %s as a worker (Ctrl-C to leave)", *join)
+		if err := cluster.JoinWorker(ctx, *join); err != nil {
+			log.Fatalf("casvm-cluster: %v", err)
+		}
+		log.Printf("casvm-cluster: lease ended, leaving cleanly")
+		return
+	}
+
+	met := trace.NewRegistry()
+	coord, err := cluster.New(*listen, cluster.Config{
+		LeaseTTL: *ttl,
+		Metrics:  met,
+		Logf:     log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("casvm-cluster: %v", err)
+	}
+	log.Printf("casvm-cluster: coordinator listening on %s", coord.Addr())
+
+	var srv *telemetry.Server
+	if *serve != "" {
+		srv, err = telemetry.Start(*serve, telemetry.Config{
+			Metrics: met,
+			Report:  func() any { return statusReport(coord) },
+			Jobs:    func() []telemetry.JobNamespace { return jobNamespaces(coord) },
+		})
+		if err != nil {
+			log.Fatalf("casvm-cluster: %v", err)
+		}
+		log.Printf("casvm-cluster: telemetry at http://%s (/metrics /report /jobs)", srv.Addr())
+	}
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	log.Printf("casvm-cluster: shutting down")
+	if srv != nil {
+		_ = srv.Close()
+	}
+	if err := coord.Close(); err != nil {
+		log.Fatalf("casvm-cluster: close: %v", err)
+	}
+}
+
+// statusReport is the /report document: the membership table and every
+// job's lifecycle position.
+func statusReport(coord *cluster.Coordinator) any {
+	type jobStatus struct {
+		ID     string             `json:"id"`
+		State  string             `json:"state"`
+		Gang   []int              `json:"gang,omitempty"`
+		Result *cluster.JobResult `json:"result,omitempty"`
+	}
+	type workerStatus struct {
+		ID   int    `json:"id"`
+		Addr string `json:"addr"`
+	}
+	var ws []workerStatus
+	for _, w := range coord.Workers() {
+		ws = append(ws, workerStatus{ID: w.ID, Addr: w.Addr})
+	}
+	var js []jobStatus
+	for _, j := range coord.Jobs() {
+		js = append(js, jobStatus{
+			ID: j.ID(), State: j.State().String(), Gang: j.Gang(), Result: j.Result(),
+		})
+	}
+	return map[string]any{
+		"time":    time.Now().Format(time.RFC3339),
+		"workers": ws,
+		"jobs":    js,
+	}
+}
+
+// jobNamespaces exposes each job's private metrics registry, result and
+// convergence ring under /jobs/<id>/.
+func jobNamespaces(coord *cluster.Coordinator) []telemetry.JobNamespace {
+	var out []telemetry.JobNamespace
+	for _, j := range coord.Jobs() {
+		j := j
+		out = append(out, telemetry.JobNamespace{
+			ID:      j.ID(),
+			State:   j.State().String(),
+			Metrics: j.Metrics(),
+			Ring:    j.Ring(),
+			Report:  func() any { return j.Result() },
+		})
+	}
+	return out
+}
+
+func init() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: casvm-cluster [-listen addr] [-serve addr] [-lease-ttl d] | -join addr\n")
+		flag.PrintDefaults()
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"casvm"
+	"casvm/internal/cluster"
 	"casvm/internal/faults"
 	"casvm/internal/telemetry"
 	"casvm/internal/trace"
@@ -43,6 +44,8 @@ func main() {
 		ckptEv  = flag.Int("ckpt-every", 0, "checkpoint cadence in solver iterations (0 = 64 when recovery is on)")
 		chaos   = flag.Int64("chaos", 0, "inject a seeded random fault schedule (crashes, drops, delays); pair with -recover")
 		replayF = flag.String("replay-faults", "", "replay the fault schedule recorded in this run report (a JSON file from -report)")
+		clustr  = flag.String("cluster", "", "submit the run as a job to the casvm-cluster coordinator at this address instead of training locally (requires -data; jobs are supervised with shrink recovery unless -recover respawn)")
+		seed    = flag.Int64("seed", 1, "training seed (partitioning and solver tie-breaks)")
 		list    = flag.Bool("list", false, "list datasets and methods, then exit")
 	)
 	flag.Parse()
@@ -56,6 +59,38 @@ func main() {
 		for _, n := range casvm.DatasetNames() {
 			fmt.Println("  ", n)
 		}
+		return
+	}
+
+	if *clustr != "" {
+		// Thin-client mode: the coordinator resolves the dataset and
+		// trains in its own elastic world, so only the spec crosses the
+		// wire. -file paths are not shipped.
+		if *dataset == "" {
+			fail(fmt.Errorf("-cluster needs a named -data dataset (run -list for names)"))
+		}
+		policy := *recPol
+		if policy == "off" {
+			policy = "" // cluster jobs default to shrink supervision
+		}
+		spec := cluster.JobSpec{
+			ID: "train", Dataset: *dataset, Scale: *scale, Method: *method,
+			P: *p, C: *c, Gamma: *gamma, Tol: *tol, Seed: *seed,
+			Policy: policy, CheckpointEvery: *ckptEv,
+		}
+		fmt.Printf("submitting %s job to %s (p=%d, dataset %s)\n", *method, *clustr, *p, *dataset)
+		res, err := cluster.SubmitAndWait(*clustr, spec, 0)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("job %s done: method=%s P=%d finalP=%d\n", res.ID, res.Method, res.P, res.FinalP)
+		fmt.Printf("iterations=%d SVs=%d accuracy=%.2f%%\n", res.Iters, res.SVs, 100*res.Accuracy)
+		fmt.Printf("virtual time: %.4fs  wall: %.3fs\n", res.TotalSec, res.WallSec)
+		if res.Recoveries > 0 || res.Grows > 0 {
+			fmt.Printf("elasticity: %d recover(ies), lost ranks %v, %d grow(s) adding %d rank(s)\n",
+				res.Recoveries, res.LostRanks, res.Grows, res.JoinedRanks)
+		}
+		fmt.Printf("model hash: %s (model stays with the coordinator)\n", res.ModelHash)
 		return
 	}
 
@@ -88,6 +123,7 @@ func main() {
 	params := casvm.DefaultParams(m, *p)
 	params.C = *c
 	params.Tol = *tol
+	params.Seed = *seed
 	params.Kernel = casvm.RBF(g)
 	params.RatioBalanced = *ratio
 	params.Threads = *threads

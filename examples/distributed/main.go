@@ -24,6 +24,17 @@
 // dead. Under "shrink" rank 0 re-partitions the lost shard onto itself and
 // retrains it locally. Either way the assembled model set is complete.
 //
+// Workers find each other dynamically: the launcher runs a lease-based
+// registrar (the casvm-cluster membership protocol) and forked workers know
+// only its address — each one registers, reports the mesh port it reserved,
+// and receives its rank plus the full peer table once everyone has checked
+// in. No static rank->address table exists anywhere.
+//
+// Deterministic reconnect timing: -chaos-seed N derives every worker's
+// reconnect backoff jitter from the seeded fault-schedule RNG
+// (faults.Schedule.JitterFunc), so a replayed crash scenario reproduces the
+// same re-dial timing instead of drawing from the global RNG.
+//
 // Or place workers by hand (possibly on different hosts):
 //
 //	go run ./examples/distributed -rank 0 -peers host0:7070,host1:7071
@@ -38,16 +49,24 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"casvm"
+	"casvm/internal/faults"
 	"casvm/internal/model"
 	"casvm/internal/tcpmpi"
 )
 
-// tagModel is the user tag for shipping a rank's model file to rank 0.
-const tagModel = 77
+// Control tags: tagModel gathers model files at rank 0 over the mesh;
+// tagMeshAddr and tagMeshPeers run rank discovery over registration leases.
+const (
+	tagModel     = 77
+	tagMeshAddr  = 78 // worker -> registrar: "host:port" the worker reserved
+	tagMeshPeers = 79 // registrar -> worker: "rank|addr0,addr1,..."
+)
 
 func main() {
 	var (
@@ -56,9 +75,12 @@ func main() {
 		killRank  = flag.Int("kill-rank", -1, "rank to kill mid-run (with -launch)")
 		killAfter = flag.Duration("kill-after", time.Second, "how long the killed rank lives (with -kill-rank)")
 		policy    = flag.String("recover", "off", "recovery for the killed rank: off, respawn (refork it; it rejoins via rank 0), shrink (rank 0 retrains the lost shard)")
-		rank      = flag.Int("rank", -1, "this worker's rank (worker mode)")
-		peers     = flag.String("peers", "", "comma-separated rank addresses (worker mode)")
+		chaosSeed = flag.Int64("chaos-seed", 0, "seed reconnect backoff jitter from the fault-schedule RNG for reproducible re-dial timing (0 = global RNG)")
+		coord     = flag.String("coordinator", "", "registrar address for dynamic rank discovery (worker mode)")
+		rank      = flag.Int("rank", -1, "this worker's rank (static worker mode)")
+		peers     = flag.String("peers", "", "comma-separated rank addresses (static worker mode)")
 		dieAfter  = flag.Duration("die-after", 0, "crash this worker before the model gather (worker mode)")
+		dieIfRank = flag.Int("die-if-rank", -1, "crash only if discovery assigned this rank (worker mode; pairs with -die-after)")
 		rejoin    = flag.Bool("rejoin", false, "this worker is a respawned incarnation: dial only rank 0 (worker mode)")
 	)
 	flag.Parse()
@@ -68,53 +90,149 @@ func main() {
 	}
 	switch {
 	case *launch:
-		launchWorkers(*p, *killRank, *killAfter, *policy)
+		launchWorkers(*p, *killRank, *killAfter, *policy, *chaosSeed)
+	case *coord != "":
+		r, addrs, lease, err := discoverWorld(*coord)
+		if err != nil {
+			log.Fatalf("discovery: %v", err)
+		}
+		defer lease.Close()
+		die := *dieAfter
+		if *dieIfRank >= 0 && r != *dieIfRank {
+			die = 0
+		}
+		runWorker(r, addrs, die, *policy, *rejoin, *chaosSeed)
 	case *rank >= 0 && *peers != "":
-		runWorker(*rank, strings.Split(*peers, ","), *dieAfter, *policy, *rejoin)
+		runWorker(*rank, strings.Split(*peers, ","), *dieAfter, *policy, *rejoin, *chaosSeed)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-// launchWorkers picks free ports, forks one worker per rank and streams
-// their output. When killRank is set, that worker is told to crash after
-// killAfter; its death is expected and does not fail the launch. Under the
-// respawn policy the launcher is also the supervisor: it reforks the dead
-// rank as a fresh incarnation that rejoins through rank 0.
-func launchWorkers(p, killRank int, killAfter time.Duration, policy string) {
+// discoverWorld joins the launcher's registrar, reports the mesh address
+// this worker reserved, and blocks until every rank has checked in and the
+// registrar answers with this worker's rank and the full peer table. The
+// returned lease stays open for the run — its heartbeats are the worker's
+// liveness signal.
+func discoverWorld(coordAddr string) (int, []string, *tcpmpi.Lease, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	meshAddr := ln.Addr().String()
+	ln.Close() // reserved; tcpmpi re-binds it as this rank's mesh listener
+
+	lease, err := tcpmpi.Register(coordAddr, tcpmpi.RegisterOptions{})
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if err := lease.Send(tagMeshAddr, []byte(meshAddr)); err != nil {
+		lease.Close()
+		return 0, nil, nil, err
+	}
+	b, err := lease.Recv(tagMeshPeers, 30*time.Second)
+	if err != nil {
+		lease.Close()
+		return 0, nil, nil, fmt.Errorf("waiting for peer table: %w", err)
+	}
+	rankStr, peerList, ok := strings.Cut(string(b), "|")
+	if !ok {
+		lease.Close()
+		return 0, nil, nil, fmt.Errorf("malformed peer table %q", b)
+	}
+	rank, err := strconv.Atoi(rankStr)
+	if err != nil {
+		lease.Close()
+		return 0, nil, nil, err
+	}
+	fmt.Printf("rank %d: discovered world of %d via registrar (lease %d)\n",
+		rank, len(strings.Split(peerList, ",")), lease.ID())
+	return rank, strings.Split(peerList, ","), lease, nil
+}
+
+// meshDirectory is the launcher-side discovery service: it collects each
+// registered worker's reserved mesh address, assigns ranks in check-in
+// order once all p have reported, and answers every worker with its rank
+// and the full peer table.
+type meshDirectory struct {
+	mu    sync.Mutex
+	p     int
+	reg   *tcpmpi.Registrar
+	order []int          // lease ids, in mesh-addr check-in order
+	addrs map[int]string // lease id -> reserved mesh address
+	ready chan []string  // closed with the rank-ordered peer table
+}
+
+func (d *meshDirectory) onFrame(w tcpmpi.WorkerInfo, tag int, payload []byte) {
+	if tag != tagMeshAddr {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.addrs[w.ID]; dup || len(d.order) >= d.p {
+		return
+	}
+	d.addrs[w.ID] = string(payload)
+	d.order = append(d.order, w.ID)
+	if len(d.order) < d.p {
+		return
+	}
+	peers := make([]string, d.p)
+	for r, id := range d.order {
+		peers[r] = d.addrs[id]
+	}
+	table := strings.Join(peers, ",")
+	for r, id := range d.order {
+		if err := d.reg.Send(id, tagMeshPeers, []byte(fmt.Sprintf("%d|%s", r, table))); err != nil {
+			log.Printf("launcher: peer table for rank %d undeliverable: %v", r, err)
+		}
+	}
+	d.ready <- peers
+}
+
+// launchWorkers starts the discovery registrar, forks one worker per rank
+// knowing only the registrar's address, and streams their output. Ranks
+// are assigned by check-in order, so a planned kill targets "whichever
+// worker became rank killRank" via -die-if-rank. Under the respawn policy
+// the launcher is also the supervisor: it reforks the dead rank as a fresh
+// incarnation that rejoins through rank 0 using the discovered peer table.
+func launchWorkers(p, killRank int, killAfter time.Duration, policy string, chaosSeed int64) {
 	start := time.Now()
 	stamp := func(format string, a ...any) {
 		fmt.Printf("[%6.2fs] "+format+"\n", append([]any{time.Since(start).Seconds()}, a...)...)
 	}
-	addrs := make([]string, p)
-	for i := range addrs {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			log.Fatal(err)
-		}
-		addrs[i] = ln.Addr().String()
-		ln.Close()
+	dir := &meshDirectory{p: p, addrs: map[int]string{}, ready: make(chan []string, 1)}
+	reg, err := tcpmpi.NewRegistrar("127.0.0.1:0", tcpmpi.RegistrarConfig{
+		OnFrame: dir.onFrame,
+		OnExpire: func(w tcpmpi.WorkerInfo) {
+			stamp("registrar: lease %d expired (worker death detected by silence)", w.ID)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	peerList := strings.Join(addrs, ",")
-	fmt.Printf("launching %d workers: %s\n", p, peerList)
+	defer reg.Close()
+	dir.reg = reg
+	fmt.Printf("launching %d workers against registrar %s (no static peer table)\n", p, reg.Addr())
 	if killRank >= 0 {
 		stamp("rank %d will be killed after %v (recovery policy: %s)", killRank, killAfter, policy)
 	}
 
 	type exit struct {
-		rank, incarnation int
+		slot, incarnation int
 		err               error
 		out               *bytes.Buffer
 	}
 	exits := make(chan exit, p+1)
-	spawn := func(r, incarnation int) {
-		args := []string{"-rank", fmt.Sprint(r), "-peers", peerList, "-recover", policy}
-		if r == killRank && incarnation == 1 {
-			args = append(args, "-die-after", killAfter.String())
-		}
-		if incarnation > 1 {
-			args = append(args, "-rejoin")
+	common := []string{"-recover", policy}
+	if chaosSeed != 0 {
+		common = append(common, "-chaos-seed", fmt.Sprint(chaosSeed))
+	}
+	spawnFresh := func(slot int) {
+		args := append([]string{"-coordinator", reg.Addr()}, common...)
+		if killRank >= 0 {
+			args = append(args, "-die-if-rank", fmt.Sprint(killRank), "-die-after", killAfter.String())
 		}
 		var out bytes.Buffer
 		cmd := exec.Command(os.Args[0], args...)
@@ -123,35 +241,56 @@ func launchWorkers(p, killRank int, killAfter time.Duration, policy string) {
 		if err := cmd.Start(); err != nil {
 			log.Fatal(err)
 		}
-		go func() { exits <- exit{r, incarnation, cmd.Wait(), &out} }()
+		go func() { exits <- exit{slot, 1, cmd.Wait(), &out} }()
 	}
-	for r := 0; r < p; r++ {
-		spawn(r, 1)
+	spawnRespawn := func(rank int, peers []string) {
+		args := append([]string{"-rank", fmt.Sprint(rank), "-peers", strings.Join(peers, ","), "-rejoin"}, common...)
+		var out bytes.Buffer
+		cmd := exec.Command(os.Args[0], args...)
+		cmd.Stdout = &out
+		cmd.Stderr = &out
+		if err := cmd.Start(); err != nil {
+			log.Fatal(err)
+		}
+		go func() { exits <- exit{rank, 2, cmd.Wait(), &out} }()
+	}
+	for slot := 0; slot < p; slot++ {
+		spawnFresh(slot)
+	}
+
+	var peers []string
+	select {
+	case peers = <-dir.ready:
+		stamp("discovery complete: ranks assigned by check-in order, peers %v", peers)
+	case <-time.After(30 * time.Second):
+		log.Fatal("discovery never completed: workers did not all check in")
 	}
 
 	remaining := p
 	failed := false
+	killHandled := false
 	for remaining > 0 {
 		e := <-exits
-		if e.err != nil && e.rank == killRank && e.incarnation == 1 {
-			stamp("worker %d died as planned: %v", e.rank, e.err)
-			fmt.Printf("--- worker %d (incarnation 1) ---\n%s", e.rank, e.out.String())
+		if e.err != nil && e.incarnation == 1 && killRank >= 0 && !killHandled {
+			killHandled = true
+			stamp("rank %d's worker died as planned: %v", killRank, e.err)
+			fmt.Printf("--- worker slot %d (incarnation 1) ---\n%s", e.slot, e.out.String())
 			if policy == "respawn" {
-				stamp("respawning worker %d — the fresh incarnation rejoins via rank 0", e.rank)
-				spawn(e.rank, 2) // the respawn owns this slot now
+				stamp("respawning rank %d — the fresh incarnation rejoins via rank 0", killRank)
+				spawnRespawn(killRank, peers) // the respawn owns this slot now
 				continue
 			}
-			stamp("policy %q: no respawn; the survivors own shard %d now", policy, e.rank)
+			stamp("policy %q: no respawn; the survivors own shard %d now", policy, killRank)
 			remaining--
 			continue
 		}
 		if e.err != nil {
 			failed = true
-			stamp("worker %d failed: %v", e.rank, e.err)
+			stamp("worker slot %d failed: %v", e.slot, e.err)
 		} else if e.incarnation > 1 {
-			stamp("respawned worker %d finished", e.rank)
+			stamp("respawned rank %d finished", e.slot)
 		}
-		fmt.Printf("--- worker %d (incarnation %d) ---\n%s", e.rank, e.incarnation, e.out.String())
+		fmt.Printf("--- worker slot %d (incarnation %d) ---\n%s", e.slot, e.incarnation, e.out.String())
 		remaining--
 	}
 	stamp("all workers accounted for")
@@ -204,7 +343,7 @@ func trainShard(ds *casvm.Dataset, entry casvm.DatasetEntry, r, p int) ([]byte, 
 // incarnation: it dials only rank 0 (tcpmpi Options.Peers) instead of
 // paying the full-mesh handshake, and its fresh-incarnation hello
 // resurrects the connection rank 0 had given up on.
-func runWorker(rank int, addrs []string, dieAfter time.Duration, policy string, rejoin bool) {
+func runWorker(rank int, addrs []string, dieAfter time.Duration, policy string, rejoin bool, chaosSeed int64) {
 	start := time.Now()
 	p := len(addrs)
 	// Short heartbeats and a small reconnect budget so a dead peer is
@@ -215,6 +354,11 @@ func runWorker(rank int, addrs []string, dieAfter time.Duration, policy string, 
 		HeartbeatTimeout:    2 * time.Second,
 		ReconnectAttempts:   2,
 		ReconnectBackoffMax: 500 * time.Millisecond,
+	}
+	if chaosSeed != 0 {
+		// Reproducible re-dial timing: backoff jitter comes from the
+		// fault-schedule RNG keyed by (seed, rank), not the global RNG.
+		opt.ReconnectJitter = faults.Schedule{Seed: chaosSeed}.JitterFunc(rank)
 	}
 	if rejoin && rank != 0 {
 		opt.Peers = []int{0}

@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"fmt"
+
+	"casvm/internal/core"
+	"casvm/internal/data"
+	"casvm/internal/kernel"
+	"casvm/internal/smo"
+	"casvm/internal/trace"
+)
+
+// JobSpec is a serializable training request: everything a coordinator
+// needs to reproduce a run, and nothing tied to the submitting process.
+// Datasets are named registry entries or inline synthetic specs so the
+// spec stays a few hundred bytes on the wire.
+type JobSpec struct {
+	// ID labels the job; the coordinator suffixes it for uniqueness.
+	ID string `json:"id,omitempty"`
+
+	// Dataset names a registered synthetic dataset (data.Names), scaled
+	// by Scale (0 = 1.0). Mixture, when set, wins over Dataset and
+	// generates a custom synthetic set instead.
+	Dataset string            `json:"dataset,omitempty"`
+	Scale   float64           `json:"scale,omitempty"`
+	Mixture *data.MixtureSpec `json:"mixture,omitempty"`
+
+	Method string `json:"method"`
+	P      int    `json:"p"`
+
+	C       float64 `json:"c,omitempty"`       // 0 = 1.0
+	Gamma   float64 `json:"gamma,omitempty"`   // 0 = per-dataset heuristic
+	Tol     float64 `json:"tol,omitempty"`     // 0 = 1e-3
+	MaxIter int     `json:"max_iter,omitempty"`
+	Seed    int64   `json:"seed,omitempty"` // 0 = the DefaultParams seed
+
+	// Policy is the recovery policy ("shrink", "respawn", "off");
+	// "" = shrink, the policy under which lease churn is survivable and
+	// reversible. CheckpointEvery is the snapshot cadence (0 = 64).
+	Policy          string `json:"policy,omitempty"`
+	CheckpointEvery int    `json:"ckpt_every,omitempty"`
+}
+
+func (s JobSpec) policy() core.RecoveryPolicy {
+	if s.Policy == "" {
+		return core.RecoverShrink
+	}
+	pol, err := core.ParseRecoveryPolicy(s.Policy)
+	if err != nil {
+		return core.RecoverShrink
+	}
+	return pol
+}
+
+// validate rejects specs the coordinator could not run.
+func (s JobSpec) validate() error {
+	if _, err := core.ParseMethod(s.Method); err != nil {
+		return err
+	}
+	if s.P < 1 {
+		return fmt.Errorf("cluster: job needs p >= 1, got %d", s.P)
+	}
+	if s.Policy != "" {
+		if _, err := core.ParseRecoveryPolicy(s.Policy); err != nil {
+			return err
+		}
+	}
+	if s.Mixture == nil && s.Dataset == "" {
+		return fmt.Errorf("cluster: job names no dataset")
+	}
+	if _, _, err := resolveDataset(s); err != nil {
+		return err
+	}
+	return nil
+}
+
+// resolveDataset materialises the spec's dataset and the RBF gamma to use.
+func resolveDataset(s JobSpec) (*data.Dataset, float64, error) {
+	g := s.Gamma
+	var ds *data.Dataset
+	var err error
+	if s.Mixture != nil {
+		if ds, err = data.Generate(*s.Mixture); err != nil {
+			return nil, 0, err
+		}
+		if g == 0 {
+			g = 1.0 / float64(ds.Features())
+		}
+		return ds, g, nil
+	}
+	scale := s.Scale
+	if scale == 0 {
+		scale = 1.0
+	}
+	var entry data.Entry
+	if ds, entry, err = data.Load(s.Dataset, scale); err != nil {
+		return nil, 0, err
+	}
+	if g == 0 {
+		g = entry.GammaOrDefault()
+	}
+	return ds, g, nil
+}
+
+// trainParams builds the core training parameters a coordinator runs the
+// spec with. Tests reuse it to produce bit-identical local reference runs.
+func trainParams(s JobSpec) (core.Params, *data.Dataset, error) {
+	m, err := core.ParseMethod(s.Method)
+	if err != nil {
+		return core.Params{}, nil, err
+	}
+	ds, gamma, err := resolveDataset(s)
+	if err != nil {
+		return core.Params{}, nil, err
+	}
+	pr := core.DefaultParams(m, s.P)
+	if s.C != 0 {
+		pr.C = s.C
+	}
+	if s.Tol != 0 {
+		pr.Tol = s.Tol
+	}
+	pr.MaxIter = s.MaxIter
+	if s.Seed != 0 {
+		pr.Seed = s.Seed
+	}
+	pr.Kernel = kernel.RBF(gamma)
+	pr.Recovery = core.Recovery{Policy: s.policy(), CheckpointEvery: s.CheckpointEvery}
+	return pr, ds, nil
+}
+
+// JobState is a job's position in the supervision lifecycle.
+type JobState int
+
+// Job lifecycle states.
+const (
+	JobQueued  JobState = iota // waiting for a gang of Spec.P free workers
+	JobRunning                 // training on an assigned gang
+	JobDone                    // finished; Result has the model fingerprint
+	JobFailed                  // finished with an error; Result.Err says why
+)
+
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("JobState(%d)", int(s))
+}
+
+// JobResult is the wire-serializable outcome of a job: the run profile,
+// the fault/elasticity ledger, and the model fingerprint that lets any
+// party check the run against a local reference.
+type JobResult struct {
+	ID      string `json:"id"`
+	Method  string `json:"method"`
+	Dataset string `json:"dataset,omitempty"`
+
+	P      int `json:"p"`       // requested gang width
+	FinalP int `json:"final_p"` // world width at completion
+
+	Iters    int     `json:"iters,omitempty"`
+	SVs      int     `json:"svs,omitempty"`
+	Accuracy float64 `json:"accuracy,omitempty"`
+	TotalSec float64 `json:"total_sec,omitempty"` // modeled virtual time
+	WallSec  float64 `json:"wall_sec,omitempty"`
+
+	Recoveries  int    `json:"recoveries,omitempty"`
+	LostRanks   []int  `json:"lost_ranks,omitempty"`
+	Grows       int    `json:"grows,omitempty"`
+	JoinedRanks int    `json:"joined_ranks,omitempty"`
+	Degraded    bool   `json:"degraded,omitempty"`
+	ModelHash   string `json:"model_hash,omitempty"`
+
+	Err string `json:"error,omitempty"`
+}
+
+// Job is one supervised training run inside a coordinator. All mutable
+// state is guarded by the owning coordinator's lock; accessors take it.
+type Job struct {
+	c    *Coordinator
+	id   string
+	spec JobSpec
+
+	inj     *elasticInjector
+	metrics *trace.Registry    // per-job namespace, fed to Params.Metrics
+	ring    *smo.TelemetryRing // per-job convergence stream
+	done    chan struct{}
+
+	// guarded by c.mu
+	state  JobState
+	gang   []int // live worker ids assigned to this job
+	result *JobResult
+}
+
+// ID returns the coordinator-assigned unique job id.
+func (j *Job) ID() string { return j.id }
+
+// Spec returns the submitted job spec.
+func (j *Job) Spec() JobSpec { return j.spec }
+
+// Done is closed when the job reaches JobDone or JobFailed.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State returns the job's lifecycle state.
+func (j *Job) State() JobState {
+	j.c.mu.Lock()
+	defer j.c.mu.Unlock()
+	return j.state
+}
+
+// Gang returns the worker ids currently backing the job.
+func (j *Job) Gang() []int {
+	j.c.mu.Lock()
+	defer j.c.mu.Unlock()
+	return append([]int(nil), j.gang...)
+}
+
+// Result returns the job outcome, or nil while the job is queued or
+// running.
+func (j *Job) Result() *JobResult {
+	j.c.mu.Lock()
+	defer j.c.mu.Unlock()
+	return j.result
+}
+
+// Metrics is the job's private metrics registry (solver counters plus the
+// run's recovery/grow counters) — one namespace per job for the telemetry
+// server.
+func (j *Job) Metrics() *trace.Registry { return j.metrics }
+
+// Ring is the job's live convergence stream (one sample per solver
+// iteration per rank).
+func (j *Job) Ring() *smo.TelemetryRing { return j.ring }

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"casvm/internal/core"
+	"casvm/internal/tcpmpi"
+)
+
+// TestClusterSoak churns a live coordinator for a bounded interval:
+// a stream of shrink-policy jobs shares a pool whose workers are randomly
+// revoked and replaced. Every job must terminate (completed or cleanly
+// failed — no hangs), completed jobs must stay accurate, and the
+// membership ledger must balance. Gated behind CASVM_SOAK_CLUSTER=1; run
+// via `make soak-cluster`.
+func TestClusterSoak(t *testing.T) {
+	if os.Getenv("CASVM_SOAK_CLUSTER") != "1" {
+		t.Skip("set CASVM_SOAK_CLUSTER=1 (or `make soak-cluster`) to run the cluster churn soak")
+	}
+	rng := rand.New(rand.NewSource(11))
+	c := newTestCoordinator(t, 400*time.Millisecond)
+
+	const poolSize = 6
+	leases := map[int]*tcpmpi.Lease{}
+	for i := 0; i < poolSize; i++ {
+		l, err := tcpmpi.Register(c.Addr(), tcpmpi.RegisterOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		leases[l.ID()] = l
+	}
+	defer func() {
+		for _, l := range leases {
+			l.Close()
+		}
+	}()
+	waitFor(t, "pool registered", func() bool { return len(c.Workers()) == poolSize })
+
+	methods := []core.Method{core.MethodDisSMO, core.MethodRACA, core.MethodCascade}
+	var jobs []*Job
+	for i := 0; i < 6; i++ {
+		spec := JobSpec{
+			ID:      fmt.Sprintf("soak%d", i),
+			Mixture: testMixture(240),
+			Method:  string(methods[i%len(methods)]),
+			P:       2 + i%3,
+			Seed:    int64(100 + i),
+			Policy:  "shrink", CheckpointEvery: 8,
+		}
+		j, err := c.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.inj.setThrottle(time.Millisecond)
+		jobs = append(jobs, j)
+	}
+
+	// Churn loop: revoke a random live worker, wait a beat, replace it.
+	// Capacity always recovers, so shrink-policy jobs can grow back.
+	stopChurn := make(chan struct{})
+	churnDone := make(chan int)
+	go func() {
+		churns := 0
+		defer func() { churnDone <- churns }()
+		for {
+			select {
+			case <-stopChurn:
+				return
+			case <-time.After(150 * time.Millisecond):
+			}
+			ws := c.Workers()
+			if len(ws) == 0 {
+				continue
+			}
+			victim := ws[rng.Intn(len(ws))].ID
+			if err := c.reg.Revoke(victim); err != nil {
+				continue
+			}
+			if l := leases[victim]; l != nil {
+				l.Close()
+				delete(leases, victim)
+			}
+			churns++
+			time.Sleep(100 * time.Millisecond)
+			l, err := tcpmpi.Register(c.Addr(), tcpmpi.RegisterOptions{})
+			if err == nil {
+				leases[l.ID()] = l
+			}
+		}
+	}()
+
+	// Bounded soak: jobs run throttled under churn for up to 20s, then
+	// full speed to drain.
+	time.Sleep(20 * time.Second)
+	close(stopChurn)
+	churns := <-churnDone
+	for _, j := range jobs {
+		j.inj.setThrottle(0)
+	}
+	for _, j := range jobs {
+		select {
+		case <-j.Done():
+		case <-time.After(180 * time.Second):
+			t.Fatalf("job %s hung (state %v)", j.ID(), j.State())
+		}
+	}
+
+	completed := 0
+	for _, j := range jobs {
+		res := j.Result()
+		if res.Err != "" {
+			t.Logf("job %s failed under churn: %s", j.ID(), res.Err)
+			continue
+		}
+		completed++
+		if res.Accuracy < 0.85 {
+			t.Errorf("job %s accuracy %.3f under churn", j.ID(), res.Accuracy)
+		}
+		t.Logf("job %s: iters=%d recoveries=%d grows=%d finalP=%d",
+			j.ID(), res.Iters, res.Recoveries, res.Grows, res.FinalP)
+	}
+	if completed < len(jobs)/2 {
+		t.Fatalf("only %d/%d jobs completed under churn", completed, len(jobs))
+	}
+	snap := c.Metrics().Snapshot()
+	t.Logf("soak: churns=%d joins=%v expiries=%v scaleups=%v completed=%d/%d",
+		churns, snap["cluster_worker_joins_total"], snap["cluster_lease_expiries_total"],
+		snap["cluster_job_scaleups_total"], completed, len(jobs))
+	if snap["cluster_lease_expiries_total"] < 1 {
+		t.Error("soak produced no lease expiries; churn loop never bit")
+	}
+	if snap["cluster_workers_busy"] != 0 {
+		t.Errorf("cluster_workers_busy=%v after drain", snap["cluster_workers_busy"])
+	}
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"casvm/internal/tcpmpi"
+)
+
+// Control-frame tags on registration leases. Submissions arrive from
+// client leases; results go back on the same lease. Errors ride the
+// result frame (JobResult.Err) so a client only ever waits on one tag.
+const (
+	tagSubmit = 101 // client -> coordinator: JSON JobSpec
+	tagResult = 102 // coordinator -> client: JSON JobResult
+)
+
+// onFrame handles control frames from lease holders. Workers have no
+// control traffic today; clients submit jobs.
+func (c *Coordinator) onFrame(w tcpmpi.WorkerInfo, tag int, payload []byte) {
+	if tag != tagSubmit {
+		c.logf("cluster: ignoring frame tag %d from lease %d", tag, w.ID)
+		return
+	}
+	var spec JobSpec
+	if err := json.Unmarshal(payload, &spec); err != nil {
+		c.replyResult(w.ID, &JobResult{Err: fmt.Sprintf("bad job spec: %v", err)})
+		return
+	}
+	j, err := c.Submit(spec)
+	if err != nil {
+		c.replyResult(w.ID, &JobResult{ID: spec.ID, Err: err.Error()})
+		return
+	}
+	go func() {
+		<-j.Done()
+		c.replyResult(w.ID, j.Result())
+	}()
+}
+
+func (c *Coordinator) replyResult(leaseID int, res *JobResult) {
+	b, err := json.Marshal(res)
+	if err == nil {
+		err = c.reg.Send(leaseID, tagResult, b)
+	}
+	if err != nil {
+		c.logf("cluster: result for lease %d undeliverable: %v", leaseID, err)
+	}
+}
+
+// SubmitAndWait dials the coordinator at addr as a client, submits the
+// spec, and blocks until the result comes back (timeout 0 = block
+// indefinitely; the lease still fails fast if the coordinator dies). The
+// returned JobResult is non-nil whenever the coordinator answered, even
+// when err reports a failed job.
+func SubmitAndWait(addr string, spec JobSpec, timeout time.Duration) (*JobResult, error) {
+	l, err := tcpmpi.Register(addr, tcpmpi.RegisterOptions{Client: true})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: register with %s: %w", addr, err)
+	}
+	defer l.Close()
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.Send(tagSubmit, b); err != nil {
+		return nil, fmt.Errorf("cluster: submit: %w", err)
+	}
+	b, err = l.Recv(tagResult, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: waiting for result: %w", err)
+	}
+	var res JobResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		return nil, fmt.Errorf("cluster: bad result frame: %w", err)
+	}
+	if res.Err != "" {
+		return &res, errors.New(res.Err)
+	}
+	return &res, nil
+}
+
+// JoinWorker registers with the coordinator at addr as a worker and blocks
+// until the lease ends (coordinator shutdown or revocation) or ctx is
+// cancelled. It returns nil on a clean ctx-driven departure — the
+// coordinator sees a leave, not an expiry.
+func JoinWorker(ctx context.Context, addr string) error {
+	l, err := tcpmpi.Register(addr, tcpmpi.RegisterOptions{})
+	if err != nil {
+		return fmt.Errorf("cluster: register with %s: %w", addr, err)
+	}
+	select {
+	case <-ctx.Done():
+		l.Close()
+		return nil
+	case <-l.Done():
+		return l.Err()
+	}
+}

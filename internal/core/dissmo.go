@@ -91,6 +91,12 @@ func trainDisSMO(c *mpi.Comm, full *la.Matrix, fullY []float64, p Params, out *r
 			ck := solver.Snapshot()
 			rt.chargeCheckpoint(c, 16*local.x.Rows())
 			rt.store.depositDis(iters, rowStart, ck.Alpha, ck.F)
+			// Epoch boundary: absorb any pending worker joins. The deposit
+			// above already contributed this rank's block, so the supervisor
+			// resumes the grown world from a consistent epoch.
+			if err := p.joinInterrupt(c.Rank(), iters); err != nil {
+				return err
+			}
 		}
 		if p.Faults != nil {
 			if err := p.Faults.CrashCheck(c.Rank(), iters); err != nil {

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"casvm/internal/mpi"
 	"casvm/internal/trace"
@@ -27,18 +28,32 @@ import (
 
 // ScheduledFault is one planned fault. Rank triggers by sender (message
 // faults, keyed by the rank's 1-based remote-send index Send) or by the
-// training loop's iteration count (crash-iter, keyed by Iter).
+// training loop's iteration count (crash-iter/leave, keyed by Iter).
+//
+// Two membership events ride alongside the classic faults:
+//
+//   - "leave" models a lease expiry: the rank departs the world at
+//     iteration ≥ Iter. It surfaces as a *mpi.CrashError (site
+//     "lease expired"), so the existing respawn/shrink recovery policies
+//     handle it exactly like a failure-detector verdict.
+//   - "join" models a worker registering mid-run: consumed by JoinCheck
+//     (polled at epoch boundaries, right after a checkpoint deposit), it
+//     asks the supervisor to grow the world by one rank. Rank is ignored —
+//     the joiner gets the next fresh rank id.
 type ScheduledFault struct {
-	Kind     string  // "crash-iter" | "crash-send" | "drop" | "delay" | "dup" | "corrupt"
-	Rank     int     // the faulting rank (sender for message faults)
-	Iter     int     // crash-iter: fires at the first CrashCheck with iter ≥ Iter
+	Kind     string  // "crash-iter" | "crash-send" | "drop" | "delay" | "dup" | "corrupt" | "leave" | "join"
+	Rank     int     // the faulting rank (sender for message faults; ignored for "join")
+	Iter     int     // crash-iter/leave/join: fires at the first poll with iter ≥ Iter
 	Send     int     // message faults: fires at the rank's first remote send with index ≥ Send
 	DelaySec float64 // extra virtual latency for "delay" events
 }
 
 func (e ScheduledFault) String() string {
-	if e.Kind == "crash-iter" {
-		return fmt.Sprintf("crash-iter rank %d iter %d", e.Rank, e.Iter)
+	switch e.Kind {
+	case "crash-iter", "leave":
+		return fmt.Sprintf("%s rank %d iter %d", e.Kind, e.Rank, e.Iter)
+	case "join":
+		return fmt.Sprintf("join iter %d", e.Iter)
 	}
 	return fmt.Sprintf("%s rank %d send #%d", e.Kind, e.Rank, e.Send)
 }
@@ -93,7 +108,9 @@ func RandomSchedule(seed int64, p, n int, opts ScheduleOptions) Schedule {
 			Send: 1 + rng.Intn(maxSend),
 		}
 		switch e.Kind {
-		case "crash-iter", "crash-send":
+		case "crash-iter", "crash-send", "leave":
+			// A leave departs the world like a crash, so it draws from the
+			// same bounded budget.
 			if crashes >= maxCrashes {
 				continue
 			}
@@ -117,6 +134,25 @@ type Schedule struct {
 	// the recovery configuration the schedule ran under (optional).
 	Policy          string
 	CheckpointEvery int
+}
+
+// JitterFunc builds a deterministic reconnect-jitter source for one rank,
+// seeded from the schedule seed — wired into
+// tcpmpi.Options.ReconnectJitter when chaos is active, so a replayed fault
+// schedule (`casvm-train -replay-faults`) reproduces identical reconnect
+// timing in the run report instead of drawing from the process-global RNG.
+// The returned func is safe for concurrent use.
+func (s Schedule) JitterFunc(rank int) func(max time.Duration) time.Duration {
+	rng := rand.New(rand.NewSource(s.Seed*2862933555777941757 + int64(rank)*3037000493 + 1))
+	var mu sync.Mutex
+	return func(max time.Duration) time.Duration {
+		if max <= 0 {
+			return 0
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return time.Duration(rng.Int63n(int64(max) + 1))
+	}
 }
 
 // NewSchedule builds the one-shot injector for a schedule. Build a fresh
@@ -168,7 +204,10 @@ func (in *ScheduleInjector) Intercept(src, dst, tag int, data []byte) mpi.Verdic
 
 	var v mpi.Verdict
 	for i, e := range in.sched.Events {
-		if in.done[i] || e.Rank != src || e.Kind == "crash-iter" || sent < e.Send {
+		// Iteration-keyed kinds (crash-iter/leave/join) belong to the
+		// CrashCheck/JoinCheck polls, not the wire.
+		if in.done[i] || e.Rank != src || sent < e.Send ||
+			e.Kind == "crash-iter" || e.Kind == "leave" || e.Kind == "join" {
 			continue
 		}
 		in.done[i] = true
@@ -210,19 +249,46 @@ func (in *ScheduleInjector) Intercept(src, dst, tag int, data []byte) mpi.Verdic
 
 // CrashCheck implements the iteration-crash poll of core.FaultInjector.
 // Unlike Injector.CrashCheck, each crash fires exactly once: after a
-// recovery the respawned rank sails past the trigger.
+// recovery the respawned rank sails past the trigger. A "leave" event is a
+// lease expiry: it departs the rank through the same typed error, so the
+// recovery policy decides whether the slot is respawned or the world
+// shrinks onto the survivors.
 func (in *ScheduleInjector) CrashCheck(rank, iter int) error {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	for i, e := range in.sched.Events {
-		if in.done[i] || e.Kind != "crash-iter" || e.Rank != rank || iter < e.Iter {
+		if in.done[i] || (e.Kind != "crash-iter" && e.Kind != "leave") || e.Rank != rank || iter < e.Iter {
 			continue
 		}
 		in.done[i] = true
-		in.events = append(in.events, Event{Kind: "crash-iter", Src: rank, Dst: -1, Tag: -1, Iter: iter})
-		return &mpi.CrashError{Rank: rank, Iter: iter, Site: "training loop"}
+		in.events = append(in.events, Event{Kind: e.Kind, Src: rank, Dst: -1, Tag: -1, Iter: iter})
+		site := "training loop"
+		if e.Kind == "leave" {
+			site = "lease expired"
+		}
+		return &mpi.CrashError{Rank: rank, Iter: iter, Site: site}
 	}
 	return nil
+}
+
+// JoinCheck implements the elastic-join poll of core.ElasticSource: it
+// consumes every due "join" event (iter ≥ the event's trigger) and returns
+// how many workers want in. The training loops poll it only at epoch
+// boundaries — right after a checkpoint deposit — so a grow always resumes
+// from a state the supervisor can re-slice.
+func (in *ScheduleInjector) JoinCheck(iter int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for i, e := range in.sched.Events {
+		if in.done[i] || e.Kind != "join" || iter < e.Iter {
+			continue
+		}
+		in.done[i] = true
+		in.events = append(in.events, Event{Kind: "join", Src: -1, Dst: -1, Tag: -1, Iter: iter})
+		n++
+	}
+	return n
 }
 
 // Events returns a copy of the realized-fault log in injection order.

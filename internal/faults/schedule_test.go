@@ -1,8 +1,11 @@
 package faults
 
 import (
+	"errors"
 	"reflect"
 	"testing"
+
+	"casvm/internal/mpi"
 )
 
 // TestRandomScheduleDeterministic: the same (seed, p, n, opts) draw yields
@@ -86,6 +89,118 @@ func TestScheduleSendFaultsOneShot(t *testing.T) {
 	}
 	if n := len(in.Events()); n != 3 {
 		t.Fatalf("realized events = %d, want 3", n)
+	}
+}
+
+// TestScheduleEmpty: an empty schedule is a valid no-op injector — the
+// -replay-faults path must accept a report whose chaos run happened to
+// realize nothing. No poll perturbs, and the faults block round-trips to
+// an equally empty schedule.
+func TestScheduleEmpty(t *testing.T) {
+	in := NewSchedule(Schedule{Seed: 9})
+	for iter := 0; iter < 16; iter++ {
+		for rank := 0; rank < 4; rank++ {
+			if err := in.CrashCheck(rank, iter); err != nil {
+				t.Fatalf("empty schedule crashed rank %d at iter %d: %v", rank, iter, err)
+			}
+		}
+		if n := in.JoinCheck(iter); n != 0 {
+			t.Fatalf("empty schedule grew the world by %d at iter %d", n, iter)
+		}
+	}
+	if v := in.Intercept(0, 1, 7, []byte{1}); v.DelaySec != 0 || v.Duplicates != 0 || v.Payload != nil || v.Drop || v.CrashErr != nil {
+		t.Fatalf("empty schedule perturbed the wire: %+v", v)
+	}
+	fi := in.FaultsInfo()
+	if fi.Seed != 9 || len(fi.Schedule) != 0 || len(fi.Injected) != 0 {
+		t.Fatalf("empty faults block: %+v", fi)
+	}
+	got := ScheduleFromFaults(fi)
+	if got.Seed != 9 || len(got.Events) != 0 {
+		t.Fatalf("empty round trip diverged: %+v", got)
+	}
+}
+
+// TestSchedulePastRunEnd: events whose triggers lie beyond the run's last
+// iteration stay armed but silent — the run completes fault-free, the
+// report's schedule still carries them (replay fidelity), and the realized
+// log does not.
+func TestSchedulePastRunEnd(t *testing.T) {
+	s := Schedule{Events: []ScheduledFault{
+		{Kind: "crash-iter", Rank: 1, Iter: 1000},
+		{Kind: "leave", Rank: 0, Iter: 1000},
+		{Kind: "join", Iter: 1000},
+		{Kind: "drop", Rank: 0, Send: 1 << 20},
+	}}
+	in := NewSchedule(s)
+	const runEnd = 100 // the solver converges long before any trigger
+	for iter := 0; iter < runEnd; iter++ {
+		for rank := 0; rank < 2; rank++ {
+			if err := in.CrashCheck(rank, iter); err != nil {
+				t.Fatalf("fired before its trigger: %v", err)
+			}
+		}
+		if n := in.JoinCheck(iter); n != 0 {
+			t.Fatalf("join fired before its trigger at iter %d", iter)
+		}
+		if v := in.Intercept(0, 1, 7, []byte{1}); v.DelaySec != 0 || v.Duplicates != 0 || v.Payload != nil || v.Drop || v.CrashErr != nil {
+			t.Fatalf("send fault fired before its index: %+v", v)
+		}
+	}
+	if n := len(in.Events()); n != 0 {
+		t.Fatalf("%d events realized in a run that ends before every trigger", n)
+	}
+	fi := in.FaultsInfo()
+	if len(fi.Schedule) != 4 || len(fi.Injected) != 0 {
+		t.Fatalf("report must keep unfired events in the schedule (got %d) and out of the realized log (got %d)",
+			len(fi.Schedule), len(fi.Injected))
+	}
+	if got := ScheduleFromFaults(fi); !reflect.DeepEqual(got.Events, s.Events) {
+		t.Fatalf("unfired events lost in round trip:\n%v\n%v", s.Events, got.Events)
+	}
+}
+
+// TestScheduleSameRankSameEpoch: two departure events armed for the same
+// rank at the same iteration consume one per poll, in schedule order — the
+// first poll kills the rank once, and only the respawned incarnation's
+// next poll takes the second hit. A join armed at the same epoch is
+// consumed independently of the crash poll.
+func TestScheduleSameRankSameEpoch(t *testing.T) {
+	in := NewSchedule(Schedule{Events: []ScheduledFault{
+		{Kind: "crash-iter", Rank: 2, Iter: 8},
+		{Kind: "leave", Rank: 2, Iter: 8},
+		{Kind: "join", Iter: 8},
+		{Kind: "join", Iter: 8},
+	}})
+	err1 := in.CrashCheck(2, 8)
+	if err1 == nil {
+		t.Fatal("first poll did not fire")
+	}
+	var ce *mpi.CrashError
+	if !errors.As(err1, &ce) || ce.Site != "training loop" {
+		t.Fatalf("events must fire in schedule order; first poll got %v", err1)
+	}
+	// The respawned incarnation replays the epoch and takes the second hit.
+	err2 := in.CrashCheck(2, 8)
+	if err2 == nil {
+		t.Fatal("second event swallowed: one poll must consume exactly one departure")
+	}
+	if !errors.As(err2, &ce) || ce.Site != "lease expired" {
+		t.Fatalf("second poll got %v, want the leave event", err2)
+	}
+	if err := in.CrashCheck(2, 8); err != nil {
+		t.Fatalf("third poll re-fired a consumed event: %v", err)
+	}
+	// Both joins due at the same epoch are handed over in one poll: the
+	// supervisor grows the world once, by two ranks.
+	if n := in.JoinCheck(8); n != 2 {
+		t.Fatalf("JoinCheck = %d, want both same-epoch joins at once", n)
+	}
+	if n := in.JoinCheck(8); n != 0 {
+		t.Fatalf("joins re-fired: %d", n)
+	}
+	if n := len(in.Events()); n != 4 {
+		t.Fatalf("realized events = %d, want 4", n)
 	}
 }
 

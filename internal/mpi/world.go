@@ -49,6 +49,23 @@ func (e *CrashError) Error() string {
 	return fmt.Sprintf("mpi: rank %d crashed (%s)", e.Rank, e.Site)
 }
 
+// ResizeError is a cooperative world-resize request: a rank raises it (at
+// an epoch boundary, after a globally consistent checkpoint exists) when
+// the membership layer wants the world wider. Unlike a crash it marks no
+// rank lost — the world aborts cleanly and a supervising driver rebuilds it
+// with Delta extra ranks, resuming from the last consistent checkpoint.
+type ResizeError struct {
+	Rank   int    // the rank that observed the request
+	Iter   int    // training iteration at the resize point
+	Delta  int    // ranks to add (elastic scale-up)
+	Reason string // what asked for the resize ("worker-join", …)
+}
+
+func (e *ResizeError) Error() string {
+	return fmt.Sprintf("mpi: rank %d requested +%d ranks at iteration %d (%s)",
+		e.Rank, e.Delta, e.Iter, e.Reason)
+}
+
 // Verdict is a transport hook's instruction for one intercepted transfer.
 // The zero value delivers the message untouched.
 type Verdict struct {
@@ -244,9 +261,15 @@ func (w *World) Run(f func(c *Comm) error) error {
 					// world to price the lost work honestly.
 					w.finalClocks.set(rank, c.clock)
 					var crash *CrashError
+					var resize *ResizeError
 					switch err, ok := rec.(error); {
 					case ok && errors.Is(err, ErrAborted):
 						errs[rank] = ErrAborted
+					case ok && errors.As(err, &resize):
+						// Cooperative resize: no rank was lost, the world is
+						// just the wrong width now.
+						errs[rank] = err
+						w.tl.Rank(rank).Instant(trace.CatRecovery, "resize-requested")
 					case ok && errors.As(err, &crash):
 						// Injected crash: keep the typed error so callers
 						// can elect degraded-mode completion.
@@ -265,7 +288,12 @@ func (w *World) Run(f func(c *Comm) error) error {
 			w.finalClocks.set(rank, c.clock)
 			if err != nil {
 				errs[rank] = err
-				if !errors.Is(err, ErrAborted) {
+				var resize *ResizeError
+				switch {
+				case errors.Is(err, ErrAborted):
+				case errors.As(err, &resize):
+					w.tl.Rank(rank).Instant(trace.CatRecovery, "resize-requested")
+				default:
 					w.stats.RecordLost(rank)
 					w.tl.Rank(rank).Instant(trace.CatFault, "rank-failed")
 				}

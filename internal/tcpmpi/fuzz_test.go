@@ -56,3 +56,59 @@ func FuzzReadFrame(f *testing.F) {
 		}
 	})
 }
+
+// helloBytes assembles a hello for the seed corpus.
+func helloBytes(rank, recvSeq, flags uint32) []byte {
+	b := make([]byte, helloLen)
+	putHello(b, helloMsg{rank: rank, recvSeq: recvSeq, flags: flags})
+	return b
+}
+
+// FuzzParseHello asserts the 12-byte resume-handshake decoder never panics
+// and never accepts a hello it cannot fully vouch for: malformed watermark
+// or incarnation (flag) bytes must fail the handshake rather than resume a
+// connection from garbage sequence state. Run with `go test -fuzz
+// FuzzParseHello ./internal/tcpmpi` for extended exploration.
+func FuzzParseHello(f *testing.F) {
+	seeds := [][]byte{
+		nil,
+		{0x01},
+		helloBytes(1, 0, 0)[:11],                        // one byte short
+		helloBytes(1, 0, helloFresh),                    // fresh incarnation
+		helloBytes(3, 77, 0),                            // mid-run resume watermark
+		helloBytes(0, 0, helloRegister),                 // worker registration
+		helloBytes(0, 0, helloClient),                   // client registration
+		helloBytes(0, 0, helloRegister|helloClient),     // contradictory roles
+		helloBytes(0, 0, helloFresh|helloRegister),      // fresh worker
+		helloBytes(9, 1, 0xFFFFFFFF),                    // all flag bits set
+		helloBytes(9, 1, helloKnownFlags+1<<3),          // one unknown bit
+		helloBytes(0xFFFFFFFF, 0xFFFFFFFF, helloFresh),  // extreme rank/watermark
+		append(helloBytes(2, 5, helloFresh), 0xAA, 0xBB), // trailing garbage
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in []byte) {
+		h, err := parseHello(in)
+		if err != nil {
+			return
+		}
+		if len(in) < helloLen {
+			t.Fatalf("accepted short hello (%d bytes)", len(in))
+		}
+		// Accepted flags are exactly the known bits, never both roles.
+		if h.flags&^uint32(helloKnownFlags) != 0 {
+			t.Fatalf("accepted unknown flags %#x", h.flags)
+		}
+		if h.flags&helloRegister != 0 && h.flags&helloClient != 0 {
+			t.Fatal("accepted a hello that is both worker and client")
+		}
+		// An accepted hello must round-trip through the encoder: the decoder
+		// read exactly the fields the encoder writes, so a resume handshake
+		// can never act on a watermark the other side did not send.
+		out := helloBytes(h.rank, h.recvSeq, h.flags)
+		if !bytes.Equal(out, in[:helloLen]) {
+			t.Fatalf("hello does not round-trip: %+v", h)
+		}
+	})
+}

@@ -1,0 +1,291 @@
+package tcpmpi
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"casvm/internal/faults"
+)
+
+// leaseEvents collects registrar callbacks for assertions.
+type leaseEvents struct {
+	mu      sync.Mutex
+	joins   []WorkerInfo
+	expiry  []WorkerInfo
+	leaves  []WorkerInfo
+	frames  []int // tags received
+	payload [][]byte
+}
+
+func (e *leaseEvents) config(ttl time.Duration) RegistrarConfig {
+	return RegistrarConfig{
+		LeaseTTL: ttl,
+		OnJoin: func(w WorkerInfo) {
+			e.mu.Lock()
+			e.joins = append(e.joins, w)
+			e.mu.Unlock()
+		},
+		OnExpire: func(w WorkerInfo) {
+			e.mu.Lock()
+			e.expiry = append(e.expiry, w)
+			e.mu.Unlock()
+		},
+		OnLeave: func(w WorkerInfo) {
+			e.mu.Lock()
+			e.leaves = append(e.leaves, w)
+			e.mu.Unlock()
+		},
+		OnFrame: func(w WorkerInfo, tag int, payload []byte) {
+			e.mu.Lock()
+			e.frames = append(e.frames, tag)
+			e.payload = append(e.payload, payload)
+			e.mu.Unlock()
+		},
+	}
+}
+
+func (e *leaseEvents) counts() (joins, expiry, leaves int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.joins), len(e.expiry), len(e.leaves)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestLeaseLifecycle: register, heartbeat past several TTLs (the lease must
+// survive), exchange control frames both ways, then close cleanly — a
+// leave, not an expiry.
+func TestLeaseLifecycle(t *testing.T) {
+	ev := &leaseEvents{}
+	reg, err := NewRegistrar("localhost:0", ev.config(300*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	l, err := Register(reg.Addr(), RegisterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.TTL() != 300*time.Millisecond {
+		t.Fatalf("TTL=%v, want 300ms", l.TTL())
+	}
+	waitFor(t, "join callback", func() bool { j, _, _ := ev.counts(); return j == 1 })
+	if ws := reg.Workers(); len(ws) != 1 || ws[0].ID != l.ID() || ws[0].Client {
+		t.Fatalf("Workers()=%v, want one worker with id %d", ws, l.ID())
+	}
+
+	// Heartbeats (TTL/3 cadence) must carry the lease well past its TTL.
+	time.Sleep(4 * l.TTL())
+	if _, ex, lv := ev.counts(); ex != 0 || lv != 0 {
+		t.Fatalf("lease fell over while heartbeating: expiries=%d leaves=%d", ex, lv)
+	}
+
+	// Control frames: worker -> coordinator and back.
+	if err := l.Send(7, []byte("job please")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "worker frame", func() bool {
+		ev.mu.Lock()
+		defer ev.mu.Unlock()
+		return len(ev.frames) == 1 && ev.frames[0] == 7 && string(ev.payload[0]) == "job please"
+	})
+	if err := reg.Send(l.ID(), 8, []byte("granted")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Recv(8, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "granted" {
+		t.Fatalf("worker received %q", b)
+	}
+
+	l.Close()
+	waitFor(t, "leave callback", func() bool { _, ex, lv := ev.counts(); return lv == 1 && ex == 0 })
+	if ws := reg.Workers(); len(ws) != 0 {
+		t.Fatalf("worker still listed after leave: %v", ws)
+	}
+}
+
+// TestLeaseExpiry: a worker that stops heartbeating (simulated by a raw
+// registration that never sends frames) expires within the TTL and is
+// reported as an expiry, not a leave.
+func TestLeaseExpiry(t *testing.T) {
+	ev := &leaseEvents{}
+	reg, err := NewRegistrar("localhost:0", ev.config(200*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	// Raw registration: hello, read the reply, then go silent with the
+	// connection held open — a wedged worker.
+	conn, err := net.Dial("tcp", reg.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hello [helloLen]byte
+	putHello(hello[:], helloMsg{flags: helloRegister})
+	if _, err := conn.Write(hello[:]); err != nil {
+		t.Fatal(err)
+	}
+	var reply [replyLen]byte
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, reply[:]); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, "lease expiry", func() bool { _, ex, _ := ev.counts(); return ex == 1 })
+	if _, _, lv := ev.counts(); lv != 0 {
+		t.Fatalf("silent worker reported as clean leave (%d leaves)", lv)
+	}
+	if ws := reg.Workers(); len(ws) != 0 {
+		t.Fatalf("expired worker still listed: %v", ws)
+	}
+}
+
+// TestLeaseRevoke: an admin revocation force-expires the lease; the worker
+// side observes the lease ending.
+func TestLeaseRevoke(t *testing.T) {
+	ev := &leaseEvents{}
+	reg, err := NewRegistrar("localhost:0", ev.config(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	l, err := Register(reg.Addr(), RegisterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := reg.Revoke(l.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "revocation expiry", func() bool { _, ex, _ := ev.counts(); return ex == 1 })
+	select {
+	case <-l.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never noticed the revocation")
+	}
+	if l.Err() == nil {
+		t.Fatal("ended lease reports nil error")
+	}
+}
+
+// TestClientRegistration: a client lease registers and exchanges frames but
+// is never listed as worker capacity.
+func TestClientRegistration(t *testing.T) {
+	ev := &leaseEvents{}
+	reg, err := NewRegistrar("localhost:0", ev.config(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	cl, err := Register(reg.Addr(), RegisterOptions{Client: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	waitFor(t, "client join", func() bool { j, _, _ := ev.counts(); return j == 1 })
+	ev.mu.Lock()
+	isClient := ev.joins[0].Client
+	ev.mu.Unlock()
+	if !isClient {
+		t.Fatal("client registration not flagged Client")
+	}
+	if ws := reg.Workers(); len(ws) != 0 {
+		t.Fatalf("client counted as worker capacity: %v", ws)
+	}
+}
+
+// TestMeshRejectsRegistrationHello: a worker that mistakenly dials a rank
+// mesh listener with a registration hello is dropped, not installed as a
+// bogus peer.
+func TestMeshRejectsRegistrationHello(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	done := make(chan error, 1)
+	go func() {
+		c, err := DialOptions(0, addrs, Options{DialTimeout: 500 * time.Millisecond})
+		if err == nil {
+			c.Close()
+		}
+		done <- err
+	}()
+	var conn net.Conn
+	for i := 0; i < 200; i++ {
+		var err error
+		if conn, err = net.Dial("tcp", addrs[0]); err == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if conn == nil {
+		t.Fatal("could not reach rank 0's listener")
+	}
+	defer conn.Close()
+	var hello [helloLen]byte
+	putHello(hello[:], helloMsg{rank: 1, flags: helloRegister})
+	if _, err := conn.Write(hello[:]); err != nil {
+		t.Fatal(err)
+	}
+	// The mesh must reject the hello: rank 1 never appears, Dial times out.
+	if err := <-done; err == nil {
+		t.Fatal("mesh accepted a registration hello as rank 1's handshake")
+	}
+}
+
+// TestJitterDeterministic: with a seeded fault-schedule jitter source
+// installed, reconnect backoff jitter is a pure function of (seed, rank) —
+// two Comms draw identical sequences, so a replayed fault schedule
+// reproduces identical reconnect timing. Without the hook the global-RNG
+// path stays bounded by the ceiling.
+func TestJitterDeterministic(t *testing.T) {
+	sched := faults.Schedule{Seed: 42}
+	a := &Comm{opt: Options{ReconnectJitter: sched.JitterFunc(1)}.withDefaults()}
+	b := &Comm{opt: Options{ReconnectJitter: sched.JitterFunc(1)}.withDefaults()}
+	other := &Comm{opt: Options{ReconnectJitter: sched.JitterFunc(2)}.withDefaults()}
+	def := &Comm{opt: Options{}.withDefaults()}
+
+	max := 50 * time.Millisecond
+	var sa, sb, so []time.Duration
+	for i := 0; i < 32; i++ {
+		sa = append(sa, a.jitter(max))
+		sb = append(sb, b.jitter(max))
+		so = append(so, other.jitter(max))
+		if d := def.jitter(max); d < 0 || d > max {
+			t.Fatalf("default jitter %v outside [0, %v]", d, max)
+		}
+	}
+	differs := false
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("same-seed jitter diverged at draw %d: %v != %v", i, sa[i], sb[i])
+		}
+		if sa[i] < 0 || sa[i] > max {
+			t.Fatalf("seeded jitter %v outside [0, %v]", sa[i], max)
+		}
+		if sa[i] != so[i] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("different ranks drew identical jitter sequences")
+	}
+	if a.jitter(0) != 0 {
+		t.Fatal("zero ceiling must yield zero jitter")
+	}
+}

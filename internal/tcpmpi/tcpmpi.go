@@ -123,6 +123,14 @@ type Options struct {
 	// 0 means 2s.
 	ReconnectBackoffMax time.Duration
 
+	// ReconnectJitter, when non-nil, supplies the additive reconnect
+	// backoff jitter: it is called with the jitter ceiling (half the
+	// current backoff) and must return a duration in [0, max]. Nil draws
+	// from the process-global RNG. Chaos runs install a seeded source here
+	// (faults.Schedule.JitterFunc) so a replayed fault schedule reproduces
+	// identical reconnect timing.
+	ReconnectJitter func(max time.Duration) time.Duration
+
 	// ReplayWindow is how many sent data frames each peer connection
 	// retains for the resume handshake: on reconnect, frames the other
 	// side has not acknowledged receiving are replayed (receiver-side seq
@@ -442,9 +450,60 @@ const (
 	replyLen = 8
 )
 
-// helloFresh (hello flags bit 0) marks the dialer as a fresh incarnation:
-// its first-ever connection to this peer, with zeroed sequence state.
-const helloFresh = 1
+// Hello flag bits. Any other bit set marks a malformed or
+// incompatible-version hello, which the decoder rejects outright —
+// mis-parsing a watermark as a flag word (or vice versa) must never
+// silently mis-resume a connection.
+const (
+	// helloFresh marks the dialer as a fresh incarnation: its first-ever
+	// connection to this peer, with zeroed sequence state.
+	helloFresh = 1 << 0
+	// helloRegister marks a worker registering with a cluster Registrar
+	// instead of joining a rank mesh: the rank field is ignored, the reply's
+	// first word carries the assigned worker id and its second the lease
+	// TTL in milliseconds.
+	helloRegister = 1 << 1
+	// helloClient marks a cluster client (job submitter): registered like a
+	// worker but never counted as training capacity.
+	helloClient = 1 << 2
+
+	helloKnownFlags = helloFresh | helloRegister | helloClient
+)
+
+// helloMsg is the decoded 12-byte hello.
+type helloMsg struct {
+	rank    uint32 // dialing rank (mesh) — ignored on register/client hellos
+	recvSeq uint32 // highest data seq the dialer has received from us
+	flags   uint32
+}
+
+// parseHello decodes and validates a hello. Unknown flag bits are rejected:
+// a corrupt or version-skewed hello must fail the handshake, not resume
+// from a garbage watermark.
+func parseHello(b []byte) (helloMsg, error) {
+	if len(b) < helloLen {
+		return helloMsg{}, fmt.Errorf("tcpmpi: short hello (%d bytes)", len(b))
+	}
+	h := helloMsg{
+		rank:    binary.LittleEndian.Uint32(b[0:4]),
+		recvSeq: binary.LittleEndian.Uint32(b[4:8]),
+		flags:   binary.LittleEndian.Uint32(b[8:12]),
+	}
+	if h.flags&^uint32(helloKnownFlags) != 0 {
+		return helloMsg{}, fmt.Errorf("tcpmpi: hello with unknown flags %#x", h.flags)
+	}
+	if h.flags&helloRegister != 0 && h.flags&helloClient != 0 {
+		return helloMsg{}, errors.New("tcpmpi: hello is both worker and client registration")
+	}
+	return h, nil
+}
+
+// putHello encodes a hello into b (len ≥ helloLen).
+func putHello(b []byte, h helloMsg) {
+	binary.LittleEndian.PutUint32(b[0:4], h.rank)
+	binary.LittleEndian.PutUint32(b[4:8], h.recvSeq)
+	binary.LittleEndian.PutUint32(b[8:12], h.flags)
+}
 
 // dialPeer establishes (or re-establishes) the connection to a lower rank,
 // retrying the TCP dial until the dial timeout, and performs the resume
@@ -505,9 +564,7 @@ func (c *Comm) dialHandshake(conn net.Conn, dst int) (uint32, error) {
 		flags |= helloFresh
 	}
 	var hello [helloLen]byte
-	binary.LittleEndian.PutUint32(hello[0:4], uint32(c.rank))
-	binary.LittleEndian.PutUint32(hello[4:8], ourRecv)
-	binary.LittleEndian.PutUint32(hello[8:12], flags)
+	putHello(hello[:], helloMsg{rank: uint32(c.rank), recvSeq: ourRecv, flags: flags})
 	conn.SetWriteDeadline(time.Now().Add(c.opt.DialTimeout))
 	if _, err := conn.Write(hello[:]); err != nil {
 		return 0, fmt.Errorf("tcpmpi: hello to rank %d: %w", dst, err)
@@ -604,22 +661,30 @@ func (c *Comm) acceptLoop(ln net.Listener) {
 			return
 		}
 		go func(conn net.Conn) {
-			var hello [helloLen]byte
+			var buf [helloLen]byte
 			conn.SetReadDeadline(time.Now().Add(c.opt.DialTimeout))
-			if _, err := io.ReadFull(conn, hello[:]); err != nil {
+			if _, err := io.ReadFull(conn, buf[:]); err != nil {
 				conn.Close() // silent or half-open client: drop it
 				return
 			}
 			conn.SetReadDeadline(time.Time{})
-			src := int(binary.LittleEndian.Uint32(hello[0:4]))
+			h, err := parseHello(buf[:])
+			if err != nil {
+				conn.Close() // malformed or version-skewed hello
+				return
+			}
+			if h.flags&(helloRegister|helloClient) != 0 {
+				conn.Close() // registration belongs to a Registrar, not a mesh rank
+				return
+			}
+			src := int(h.rank)
 			if src <= c.rank || src >= c.size {
 				conn.Close() // bogus hello
 				return
 			}
-			theirRecv := binary.LittleEndian.Uint32(hello[4:8])
-			flags := binary.LittleEndian.Uint32(hello[8:12])
+			theirRecv := h.recvSeq
 			p := c.peers[src]
-			if flags&helloFresh != 0 {
+			if h.flags&helloFresh != 0 {
 				// A fresh incarnation (respawned process) numbers its
 				// frames from 1 again and remembers nothing of ours:
 				// reset our per-peer sequence state to match.
@@ -846,7 +911,7 @@ func (c *Comm) recoverPeer(src, gen int, cause error) {
 			}
 			// Additive jitter up to 50% keeps a restarted fleet from
 			// hammering the listener in lockstep.
-			sleep := backoff + time.Duration(rand.Int63n(int64(backoff/2)+1))
+			sleep := backoff + c.jitter(backoff/2)
 			c.mReconnBackoff.Add(sleep.Milliseconds())
 			select {
 			case <-c.done:
@@ -935,6 +1000,26 @@ func (c *Comm) writeFrame(p *peer, conn net.Conn, tag int, seq uint32, sendNs in
 	}
 	_, err := conn.Write(buf)
 	return err
+}
+
+// jitter draws the additive reconnect jitter in [0, max] — from the
+// configured deterministic source when one is installed, the process-global
+// RNG otherwise.
+func (c *Comm) jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	if j := c.opt.ReconnectJitter; j != nil {
+		d := j(max)
+		if d < 0 {
+			d = 0
+		}
+		if d > max {
+			d = max
+		}
+		return d
+	}
+	return time.Duration(rand.Int63n(int64(max) + 1))
 }
 
 // fail marks the connection to src as dead: only operations that depend on

@@ -6,6 +6,9 @@
 //	/report        — a live JSON snapshot from the caller's report func
 //	/events        — an SSE stream of per-iteration solver telemetry
 //	                 (smo.TelemetryRing samples as JSON `data:` frames)
+//	/jobs          — per-job namespaces from a cluster coordinator, each
+//	                 serving /jobs/<id>/{metrics,report,events} with the
+//	                 same formats as the top-level endpoints
 //
 // The server only reads from concurrency-safe sinks (registry atomics,
 // the telemetry ring's mutex), so it can run while training is in flight
@@ -18,6 +21,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 
 	"casvm/internal/smo"
@@ -37,6 +41,22 @@ type Config struct {
 	Ring *smo.TelemetryRing
 	// PollInterval is the SSE poll cadence (default 200ms).
 	PollInterval time.Duration
+	// Jobs, when non-nil, is polled per request for the per-job telemetry
+	// namespaces of a cluster coordinator: /jobs lists them, and
+	// /jobs/<id>/metrics, /jobs/<id>/report and /jobs/<id>/events serve
+	// one job's private registry, result snapshot and convergence stream
+	// with the same formats as the top-level endpoints.
+	Jobs func() []JobNamespace
+}
+
+// JobNamespace is one job's slice of the telemetry surface. Any sink may
+// be nil; its endpoint then serves an empty document.
+type JobNamespace struct {
+	ID      string // path segment under /jobs/
+	State   string // lifecycle state shown in the /jobs listing
+	Metrics *trace.Registry
+	Report  func() any
+	Ring    *smo.TelemetryRing
 }
 
 // Server is a running telemetry endpoint.
@@ -73,7 +93,26 @@ func Start(addr string, cfg Config) (*Server, error) {
 		_ = enc.Encode(v)
 	})
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
-		serveSSE(w, r, cfg)
+		serveSSE(w, r, cfg.Ring, cfg.PollInterval)
+	})
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, _ *http.Request) {
+		type entry struct {
+			ID    string `json:"id"`
+			State string `json:"state,omitempty"`
+		}
+		list := []entry{}
+		if cfg.Jobs != nil {
+			for _, j := range cfg.Jobs() {
+				list = append(list, entry{ID: j.ID, State: j.State})
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(list)
+	})
+	mux.HandleFunc("/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		serveJob(w, r, cfg)
 	})
 	// net/http/pprof self-registers only on DefaultServeMux; wire the
 	// handlers explicitly so this mux stays self-contained.
@@ -95,10 +134,53 @@ func Start(addr string, cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// serveJob routes /jobs/<id>/{metrics,report,events} onto one job's
+// private namespace.
+func serveJob(w http.ResponseWriter, r *http.Request, cfg Config) {
+	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	id, endpoint, ok := strings.Cut(rest, "/")
+	if !ok || id == "" {
+		http.NotFound(w, r)
+		return
+	}
+	var job JobNamespace
+	found := false
+	if cfg.Jobs != nil {
+		for _, j := range cfg.Jobs() {
+			if j.ID == id {
+				job, found = j, true
+				break
+			}
+		}
+	}
+	if !found {
+		http.NotFound(w, r)
+		return
+	}
+	switch endpoint {
+	case "metrics":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = job.Metrics.WriteProm(w) // nil-safe: writes nothing
+	case "report":
+		w.Header().Set("Content-Type", "application/json")
+		var v any
+		if job.Report != nil {
+			v = job.Report()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	case "events":
+		serveSSE(w, r, job.Ring, cfg.PollInterval)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
 // serveSSE streams telemetry-ring samples as server-sent events: one
 // `data:` line per IterSample, JSON-encoded, polled at the configured
 // cadence until the client disconnects or the server closes.
-func serveSSE(w http.ResponseWriter, r *http.Request, cfg Config) {
+func serveSSE(w http.ResponseWriter, r *http.Request, ring *smo.TelemetryRing, interval time.Duration) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
@@ -110,11 +192,11 @@ func serveSSE(w http.ResponseWriter, r *http.Request, cfg Config) {
 	fl.Flush()
 
 	var cursor uint64
-	tick := time.NewTicker(cfg.PollInterval)
+	tick := time.NewTicker(interval)
 	defer tick.Stop()
 	for {
 		var samples []smo.IterSample
-		samples, cursor = cfg.Ring.Since(cursor) // nil-safe: always empty
+		samples, cursor = ring.Since(cursor) // nil-safe: always empty
 		for _, s := range samples {
 			b, err := json.Marshal(s)
 			if err != nil {

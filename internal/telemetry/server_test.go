@@ -10,11 +10,13 @@ import (
 	"testing"
 	"time"
 
+	"casvm/internal/cluster"
 	"casvm/internal/core"
 	"casvm/internal/data"
 	"casvm/internal/kernel"
 	"casvm/internal/mpi"
 	"casvm/internal/smo"
+	"casvm/internal/tcpmpi"
 	"casvm/internal/telemetry"
 	"casvm/internal/trace"
 )
@@ -139,6 +141,113 @@ func TestServeSmoke(t *testing.T) {
 	// The listener is really gone.
 	if _, err := http.Get(srv.URL() + "/metrics"); err == nil {
 		t.Fatal("server still serving after Close")
+	}
+}
+
+// TestServeClusterNamespaces is the cluster half of the serve smoke run:
+// a live coordinator's registry backs /metrics (membership and job
+// counters) and its job table backs the /jobs namespaces — one metrics,
+// report and events surface per job.
+func TestServeClusterNamespaces(t *testing.T) {
+	coord, err := cluster.New("localhost:0", cluster.Config{LeaseTTL: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	srv, err := telemetry.Start("127.0.0.1:0", telemetry.Config{
+		Metrics:      coord.Metrics(),
+		PollInterval: 10 * time.Millisecond,
+		Jobs: func() []telemetry.JobNamespace {
+			var out []telemetry.JobNamespace
+			for _, j := range coord.Jobs() {
+				j := j
+				out = append(out, telemetry.JobNamespace{
+					ID:      j.ID(),
+					State:   j.State().String(),
+					Metrics: j.Metrics(),
+					Ring:    j.Ring(),
+					Report:  func() any { return j.Result() },
+				})
+			}
+			return out
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A worker joins, a job runs to completion on it, the worker is
+	// revoked: the counter set must record one join, one completion and
+	// one expiry.
+	worker, err := tcpmpi.Register(coord.Addr(), tcpmpi.RegisterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer worker.Close()
+	res, err := cluster.SubmitAndWait(coord.Addr(), cluster.JobSpec{
+		ID: "smoke",
+		Mixture: &data.MixtureSpec{
+			Name: "serve-cluster", Train: 160, Test: 40, Features: 8,
+			Clusters: 4, Separation: 7, Noise: 1, PosFrac: []float64{0.5},
+			LabelNoise: 0.02, Margin: 1.0, Seed: 42,
+		},
+		Method: string(core.MethodRACA), P: 1, Seed: 1,
+	}, 120*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Revoke(worker.ID()); err != nil {
+		t.Fatal(err)
+	}
+
+	body := httpGet(t, srv.URL()+"/metrics")
+	for _, want := range []string{
+		"# TYPE cluster_worker_joins_total counter",
+		"cluster_worker_joins_total 1",
+		"cluster_lease_expiries_total 1",
+		"cluster_worker_leaves_total 0",
+		"cluster_jobs_completed_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// /jobs lists the finished job; its namespace serves per-job solver
+	// metrics, the result report and an SSE stream of its convergence
+	// samples.
+	var jobs []struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL()+"/jobs")), &jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != res.ID || jobs[0].State != "done" {
+		t.Fatalf("/jobs = %+v, want the finished job %s", jobs, res.ID)
+	}
+	base := srv.URL() + "/jobs/" + res.ID
+	if body := httpGet(t, base+"/metrics"); !strings.Contains(body, "smo_iterations_total") {
+		t.Fatalf("job metrics missing solver counters:\n%s", body)
+	}
+	var rep cluster.JobResult
+	if err := json.Unmarshal([]byte(httpGet(t, base+"/report")), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ModelHash != res.ModelHash || rep.ModelHash == "" {
+		t.Fatalf("job report hash %q != submitted result hash %q", rep.ModelHash, res.ModelHash)
+	}
+	if s := readFirstSSE(t, base+"/events"); s.Active <= 0 {
+		t.Fatalf("empty job SSE sample: %+v", s)
+	}
+	// Unknown namespaces 404 instead of aliasing another job.
+	if resp, err := http.Get(base + "x/metrics"); err == nil {
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown job served status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
 	}
 }
 
