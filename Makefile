@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-matrix vet check fuzz fuzz-smoke bench bench-e2e bench-diff serve-smoke soak soak-cluster cover
+.PHONY: build test race race-matrix vet check fuzz fuzz-smoke bench bench-kernel bench-e2e bench-diff serve-smoke soak soak-cluster cover
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ race:
 race-matrix:
 	$(GO) test -race -cpu 1,4 ./internal/mpi ./internal/tcpmpi \
 		./internal/faults ./internal/core ./internal/pool ./internal/trace \
-		./internal/cluster
+		./internal/cluster ./internal/kernel ./internal/la
 
 # fuzz-smoke runs every fuzz target's seed corpus (no exploration) so the
 # corpora cannot rot; `make fuzz` does the time-boxed exploration.
@@ -59,32 +59,50 @@ soak-cluster:
 # records ns/op + allocs/op in BENCH_smo.json (via cmd/benchjson).
 # BenchmarkSolveInstrumented vs BenchmarkSolve prices the live-timeline
 # overhead; the disabled path is pinned to 0 allocs/op by test.
-bench:
+bench: bench-kernel
 	$(GO) test ./internal/smo ./internal/kernel ./internal/la \
 		-run '^$$' -bench 'BenchmarkSolve$$|BenchmarkSolveInstrumented$$|BenchmarkSolveCheckpointed$$|UpdateScanFused|RowCache|BenchmarkDot' \
 		-benchmem -cpu 1,4 | $(GO) run ./cmd/benchjson > BENCH_smo.json
 	@echo wrote BENCH_smo.json
 
+# bench-kernel records the tile-engine suite in BENCH_kernel.json: blocked
+# MulTile vs the row loop, CrossTile vs per-element Eval, batched
+# PredictAll vs the per-row loop it replaced (the mixed-storage cases are
+# the headline: the row path re-densifies the sparse side per support
+# vector), and the two LIBSVM readers.
+KERNEL_BENCH = BenchmarkMulTile|BenchmarkCrossTile|BenchmarkPredictAll|BenchmarkLoadLIBSVM
+KERNEL_BENCH_PKGS = ./internal/la ./internal/kernel ./internal/model ./internal/data
+bench-kernel:
+	$(GO) test $(KERNEL_BENCH_PKGS) -run '^$$' -bench '$(KERNEL_BENCH)' \
+		-benchmem | $(GO) run ./cmd/benchjson > BENCH_kernel.json
+	@echo wrote BENCH_kernel.json
+
 # bench-e2e records the end-to-end training benchmarks (the root-package
 # ablation suite) in BENCH_e2e.json — the committed baseline bench-diff
-# gates against. One iteration each: the modeled work is deterministic,
-# and the diff threshold absorbs wall-clock noise.
+# gates against. Three iterations each: the modeled work is deterministic,
+# and averaging a few wall timings keeps scheduler noise inside the diff
+# threshold.
 bench-e2e:
-	$(GO) test . -run '^$$' -bench BenchmarkAblation -benchmem -benchtime 1x \
+	$(GO) test . -run '^$$' -bench BenchmarkAblation -benchmem -benchtime 3x \
 		| $(GO) run ./cmd/benchjson > BENCH_e2e.json
 	@echo wrote BENCH_e2e.json
 
-# bench-diff re-runs the e2e suite and exits nonzero when any benchmark's
-# ns/op regressed past the threshold ratio against the committed baseline
-# (0.5 = 50%, generous because single-iteration wall timings are noisy —
-# algorithmic regressions are far larger).
+# bench-diff re-runs the e2e and tile-engine suites and exits nonzero when
+# any benchmark's ns/op regressed past the threshold ratio against the
+# committed baselines (0.5 = 50%, generous because single-iteration wall
+# timings are noisy — algorithmic regressions are far larger).
 BENCH_DIFF_THRESHOLD ?= 0.5
 bench-diff:
-	$(GO) test . -run '^$$' -bench BenchmarkAblation -benchmem -benchtime 1x \
+	$(GO) test . -run '^$$' -bench BenchmarkAblation -benchmem -benchtime 3x \
 		| $(GO) run ./cmd/benchjson > BENCH_e2e.new.json
 	$(GO) run ./cmd/benchjson -diff -threshold $(BENCH_DIFF_THRESHOLD) \
 		BENCH_e2e.json BENCH_e2e.new.json
 	@rm -f BENCH_e2e.new.json
+	$(GO) test $(KERNEL_BENCH_PKGS) -run '^$$' -bench '$(KERNEL_BENCH)' \
+		-benchmem | $(GO) run ./cmd/benchjson > BENCH_kernel.new.json
+	$(GO) run ./cmd/benchjson -diff -threshold $(BENCH_DIFF_THRESHOLD) \
+		BENCH_kernel.json BENCH_kernel.new.json
+	@rm -f BENCH_kernel.new.json
 
 # Short fuzz sweep over every fuzz target (parsers, the wire-frame
 # decoder, and the run-report round trip); seed corpora also run in
@@ -96,7 +114,8 @@ fuzz:
 
 # cover enforces a 70% statement-coverage floor on the observability and
 # modeling packages (the ones whose regressions are silent).
-COVER_PKGS = ./internal/trace ./internal/trace/critpath ./internal/perfmodel ./internal/expt
+COVER_PKGS = ./internal/trace ./internal/trace/critpath ./internal/perfmodel ./internal/expt \
+	./internal/kernel ./internal/la
 cover:
 	@for pkg in $(COVER_PKGS); do \
 		out=$$($(GO) test -cover $$pkg | tail -1); \

@@ -217,12 +217,7 @@ func GenerateDataset(spec MixtureSpec) (*Dataset, error) { return data.Generate(
 // DatasetFromLIBSVM reads a LIBSVM-format file into a training-only
 // dataset, binarizing labels at > 0.
 func DatasetFromLIBSVM(path string, minFeatures int) (*Dataset, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	x, y, err := data.ReadLIBSVM(f, minFeatures)
+	x, y, err := data.LoadLIBSVMFile(path, minFeatures)
 	if err != nil {
 		return nil, err
 	}

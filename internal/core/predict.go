@@ -34,10 +34,11 @@ func PredictDistributed(set *model.Set, q *la.Matrix, machine perfmodel.Machine,
 		const tagLabels = 32
 		var routed [][]int
 		if c.Rank() == 0 {
-			// Route every query to its nearest center (Alg 6 step 2).
+			// Route every query to its nearest center (Alg 6 step 2). One
+			// blocked RouteAll pass streams the centroid matrix per query
+			// block instead of per query.
 			routed = make([][]int, p)
-			for i := 0; i < q.Rows(); i++ {
-				r := set.Route(q, i)
+			for i, r := range set.RouteAll(q) {
 				routed[r] = append(routed[r], i)
 			}
 			c.Charge(float64(2 * q.Rows() * p * q.Features()))
@@ -54,18 +55,20 @@ func PredictDistributed(set *model.Set, q *la.Matrix, machine perfmodel.Machine,
 			if err != nil {
 				return err
 			}
-			labels := make([]float64, qx.Rows())
-			for i := range labels {
-				labels[i] = set.Models[c.Rank()].Predict(qx, i)
-			}
+			// Tiled batch classification of the whole local block.
+			labels := set.Models[c.Rank()].PredictAll(qx)
 			c.Charge(float64(qx.Rows() * set.Models[c.Rank()].NSV() * 2 * qx.Features()))
 			c.SendF64(0, tagLabels, labels)
 			return nil
 		}
 
-		// Rank 0: predict the locally routed block and collect the rest.
-		for _, i := range routed[0] {
-			preds[i] = set.Models[0].Predict(q, i)
+		// Rank 0: predict the locally routed block (batched through the
+		// same tile path as the remote ranks) and collect the rest.
+		if len(routed[0]) > 0 {
+			local := set.Models[0].PredictAll(q.Subset(routed[0]))
+			for k, i := range routed[0] {
+				preds[i] = local[k]
+			}
 		}
 		for r := 1; r < p; r++ {
 			labels := c.RecvF64(r, tagLabels)

@@ -27,8 +27,16 @@ func FuzzReadLIBSVM(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, in string) {
 		x, y, err := ReadLIBSVM(strings.NewReader(in), 0)
+		sx, sy, serr := ReadLIBSVMStream(strings.NewReader(in), 0)
 		if err != nil {
+			// The streaming reader must reject exactly the same inputs.
+			if serr == nil {
+				t.Fatalf("stream accepted input the grow reader rejects: %v", err)
+			}
 			return
+		}
+		if serr != nil {
+			t.Fatalf("stream rejected input the grow reader accepts: %v", serr)
 		}
 		if x.Rows() != len(y) {
 			t.Fatalf("rows %d != labels %d", x.Rows(), len(y))
@@ -45,5 +53,6 @@ func FuzzReadLIBSVM(f *testing.F) {
 				}
 			}
 		}
+		requireSameParse(t, x, y, sx, sy)
 	})
 }

@@ -48,6 +48,11 @@ type RowCache struct {
 	// rec, when non-nil, records a timeline span per miss (the
 	// kernel-row fill is the solver's dominant non-O(m) cost).
 	rec *trace.Recorder
+
+	// Preallocated PrefetchPair scratch (at most two missing rows per
+	// call), keeping the prefetch path allocation-free like Row.
+	prefRows []int
+	prefDst  [][]float64
 }
 
 // SetThreads lets cache misses compute rows with up to t goroutines
@@ -83,6 +88,8 @@ func NewRowCache(p Params, data *la.Matrix, capacity int) *RowCache {
 		head:     -1,
 		tail:     -1,
 		block:    make([]float64, capacity*m),
+		prefRows: make([]int, 0, 2),
+		prefDst:  make([][]float64, 0, 2),
 	}
 	for i := range c.slotOf {
 		c.slotOf[i] = -1
@@ -135,6 +142,20 @@ func (c *RowCache) Row(i int) []float64 {
 		return c.block[int(s)*c.m : int(s)*c.m+c.m]
 	}
 	c.misses++
+	row := c.slotFor(i)
+	sp := c.rec.Begin(trace.CatKernel, "row-fill")
+	f := c.params.RowParallel(c.data, i, row, c.threads)
+	c.rec.EndFlops(sp, f)
+	c.flops += f
+	return row
+}
+
+// slotFor acquires a slot for the uncached sample i — reusing the LRU
+// victim's slot once the cache is full — updates both index maps, and
+// makes the slot most-recently-used immediately, so a second acquisition
+// in the same batch cannot evict it (capacity ≥ 2 guarantees a distinct
+// tail). It returns the slot's row storage; the caller fills it.
+func (c *RowCache) slotFor(i int) []float64 {
 	var s int32
 	if c.used < c.capacity {
 		s = int32(c.used)
@@ -147,13 +168,49 @@ func (c *RowCache) Row(i int) []float64 {
 	}
 	c.rowOf[s] = int32(i)
 	c.slotOf[i] = s
-	row := c.block[int(s)*c.m : int(s)*c.m+c.m]
+	c.pushFront(s)
+	return c.block[int(s)*c.m : int(s)*c.m+c.m]
+}
+
+// PrefetchPair makes rows i and j resident, filling both misses through one
+// shared-streaming tile (Params.Tile) so the training matrix is scanned
+// once for the pair instead of once per row — SMO touches exactly this pair
+// every iteration. Observable cache state afterwards (resident set,
+// eviction victims, LRU order, miss count, charged flops) is identical to
+// Row(i) followed by Row(j); rows already present are made most-recent but
+// not counted as hits, so the later Row() reads account for themselves.
+func (c *RowCache) PrefetchPair(i, j int) {
+	c.prefRows = c.prefRows[:0]
+	c.prefDst = c.prefDst[:0]
+	if s := c.slotOf[i]; s >= 0 {
+		if c.head != s {
+			c.unlink(s)
+			c.pushFront(s)
+		}
+	} else {
+		c.misses++
+		c.prefRows = append(c.prefRows, i)
+		c.prefDst = append(c.prefDst, c.slotFor(i))
+	}
+	if j != i {
+		if s := c.slotOf[j]; s >= 0 {
+			if c.head != s {
+				c.unlink(s)
+				c.pushFront(s)
+			}
+		} else {
+			c.misses++
+			c.prefRows = append(c.prefRows, j)
+			c.prefDst = append(c.prefDst, c.slotFor(j))
+		}
+	}
+	if len(c.prefRows) == 0 {
+		return
+	}
 	sp := c.rec.Begin(trace.CatKernel, "row-fill")
-	f := c.params.RowParallel(c.data, i, row, c.threads)
+	f := c.params.Tile(c.data, c.prefRows, c.prefDst, c.threads)
 	c.rec.EndFlops(sp, f)
 	c.flops += f
-	c.pushFront(s)
-	return row
 }
 
 // Diag returns the kernel diagonal K(i,i) without touching the row cache;

@@ -1,10 +1,7 @@
 package kernel
 
 import (
-	"math"
-
 	"casvm/internal/la"
-	"casvm/internal/pool"
 )
 
 // Intra-node parallelism: the paper's implementation fans the SMO hot loop
@@ -24,52 +21,13 @@ const rowGrain = 512
 // RowParallel computes K(i, ·) like Row, splitting the work across up to
 // `threads` pool workers. Results are identical to Row (each output
 // element is computed independently). Returns the flop count charged.
+// It is the one-row case of the tile engine (Params.Tile).
 func (p Params) RowParallel(a *la.Matrix, i int, dst []float64, threads int) float64 {
 	m := a.Rows()
 	if threads <= 1 || m < 2*rowGrain {
 		return p.Row(a, i, dst)
 	}
-	if p.Kind == Gaussian {
-		a.EnsureNorms() // not goroutine-safe lazily; force it up front
-	}
-	dst = dst[:m]
-	pool.Shared().ParallelFor(threads, m, rowGrain, func(lo, hi int) {
-		p.rowRange(a, i, dst, lo, hi)
-	})
-	if a.Sparse() {
-		ix, _ := a.SparseRow(i)
-		return float64(2*len(ix)*m + m)
-	}
-	return float64(2*a.Features()*m + m)
-}
-
-// rowRange fills dst[lo:hi] with K(i, j) for j in [lo, hi).
-func (p Params) rowRange(a *la.Matrix, i int, dst []float64, lo, hi int) {
-	if a.Sparse() {
-		ix, vx := a.SparseRow(i)
-		for j := lo; j < hi; j++ {
-			ji, jv := a.SparseRow(j)
-			dot := la.SpDot(ix, vx, ji, jv)
-			if p.Kind == Gaussian {
-				d := a.SqNormRow(i) + a.SqNormRow(j) - 2*dot
-				if d < 0 {
-					d = 0
-				}
-				dst[j] = math.Exp(-p.Gamma * d)
-			} else {
-				dst[j] = p.fromDot(dot, 0)
-			}
-		}
-		return
-	}
-	xi := a.DenseRow(i)
-	if p.Kind == Gaussian {
-		for j := lo; j < hi; j++ {
-			dst[j] = math.Exp(-p.Gamma * la.SqDist(xi, a.DenseRow(j)))
-		}
-	} else {
-		for j := lo; j < hi; j++ {
-			dst[j] = p.fromDot(la.Dot(xi, a.DenseRow(j)), 0)
-		}
-	}
+	rows := [1]int{i}
+	dsts := [1][]float64{dst}
+	return p.Tile(a, rows[:], dsts[:], threads)
 }

@@ -1,0 +1,278 @@
+package kernel
+
+import (
+	"math"
+
+	"casvm/internal/la"
+	"casvm/internal/pool"
+)
+
+// Tile engine: blocked evaluation of kernel-matrix blocks. The kernel
+// matrix is a rank-k product in disguise — K = f(X·Zᵀ, ‖x‖², ‖z‖²) — so a
+// block of K rows or a query×SV panel is one GEMM block plus an
+// elementwise finish, not len(rows) independent row scans.
+//
+// Two flavors exist because the repo has two bit-distinct row-at-a-time
+// paths and the golden E2E hashes pin both:
+//
+//   - Tile matches Params.Row elementwise (dense Gaussian goes through
+//     la.SqDist, not the norms identity) and charges Row's flop formula
+//     per tile row. It feeds training-scan fills (RowCache, RowParallel).
+//   - CrossTile matches Params.Eval elementwise (cross-matrix Gaussian
+//     always uses the norms identity) and feeds batch prediction.
+//
+// Every element keeps the exact summation order of the scalar call it
+// replaces, so results are bit-identical at every tile shape and thread
+// count; the tile only changes the memory access pattern.
+
+// Tile fills dsts[r][lo:hi] with K(rows[r], j) for j in [lo, hi) over the
+// columns of a single training matrix, streaming each column row once for
+// all tile rows (the row-at-a-time path streams the matrix once per row).
+// Each dsts[r] must have length ≥ a.Rows(). Elementwise results are
+// bit-identical to Params.Row; the returned flop charge is the sum of
+// Row's per-row charges. Work is split over up to `threads` pool workers
+// along the column axis with the same deterministic chunking as
+// RowParallel.
+func (p Params) Tile(a *la.Matrix, rows []int, dsts [][]float64, threads int) float64 {
+	m := a.Rows()
+	if len(rows) == 0 {
+		return 0
+	}
+	if p.Kind == Gaussian {
+		a.EnsureNorms() // not goroutine-safe lazily; force it up front
+	}
+	for r := range dsts {
+		dsts[r] = dsts[r][:m]
+	}
+	if threads <= 1 || m < 2*rowGrain {
+		p.tileCols(a, rows, dsts, 0, m)
+	} else {
+		pool.Shared().ParallelFor(threads, m, rowGrain, func(lo, hi int) {
+			p.tileCols(a, rows, dsts, lo, hi)
+		})
+	}
+	var flops float64
+	for _, i := range rows {
+		if a.Sparse() {
+			ix, _ := a.SparseRow(i)
+			flops += float64(2*len(ix)*m + m)
+		} else {
+			flops += float64(2*a.Features()*m + m)
+		}
+	}
+	return flops
+}
+
+// tileRowBlock bounds how many tile rows have their handles hoisted into
+// stack arrays at once; larger tiles process in groups. Hoisting matters:
+// re-resolving SparseRow/SqNormRow per element costs more than the dot for
+// short rows, which is exactly the single-row fill of a training scan.
+const tileRowBlock = 8
+
+// tileCols fills the column range [lo, hi) of every tile row. The column
+// row j is loaded once and evaluated against all tile rows (column-outer
+// order); each element's arithmetic is exactly Row's, with the tile row as
+// the first argument of the dot/distance primitive.
+func (p Params) tileCols(a *la.Matrix, rows []int, dsts [][]float64, lo, hi int) {
+	for base := 0; base < len(rows); base += tileRowBlock {
+		n := len(rows) - base
+		if n > tileRowBlock {
+			n = tileRowBlock
+		}
+		p.tileColsBlock(a, rows[base:base+n], dsts[base:base+n], lo, hi)
+	}
+}
+
+func (p Params) tileColsBlock(a *la.Matrix, rows []int, dsts [][]float64, lo, hi int) {
+	if a.Sparse() {
+		var ri [tileRowBlock][]int32
+		var rv [tileRowBlock][]float64
+		var rn [tileRowBlock]float64
+		for r, i := range rows {
+			ri[r], rv[r] = a.SparseRow(i)
+			if p.Kind == Gaussian {
+				rn[r] = a.SqNormRow(i)
+			}
+		}
+		for j := lo; j < hi; j++ {
+			ji, jv := a.SparseRow(j)
+			if p.Kind == Gaussian {
+				nj := a.SqNormRow(j)
+				for r := range rows {
+					d := rn[r] + nj - 2*la.SpDot(ri[r], rv[r], ji, jv)
+					if d < 0 {
+						d = 0
+					}
+					dsts[r][j] = math.Exp(-p.Gamma * d)
+				}
+			} else {
+				for r := range rows {
+					dsts[r][j] = p.fromDot(la.SpDot(ri[r], rv[r], ji, jv), 0)
+				}
+			}
+		}
+		return
+	}
+	var xr [tileRowBlock][]float64
+	for r, i := range rows {
+		xr[r] = a.DenseRow(i)
+	}
+	for j := lo; j < hi; j++ {
+		xj := a.DenseRow(j)
+		if p.Kind == Gaussian {
+			for r := range rows {
+				dsts[r][j] = math.Exp(-p.Gamma * la.SqDist(xr[r], xj))
+			}
+		} else {
+			for r := range rows {
+				dsts[r][j] = p.fromDot(la.Dot(xr[r], xj), 0)
+			}
+		}
+	}
+}
+
+// CrossTile fills dst[r*ld + (c-clo)] = K(rows[r] of a, c of b) for
+// c in [clo, chi), computing the whole inner-product block with one
+// la.MulTile call and finishing elementwise. Every element is bit-identical
+// to Params.Eval(a, rows[r], b, c) — the cross-matrix Gaussian path always
+// goes through the norms identity, like Eval. a and b may be the same
+// matrix provided norms are cached (CrossTile ensures them for Gaussian).
+//
+// dst must have length ≥ (len(rows)-1)*ld + (chi-clo) and ld ≥ chi-clo.
+// The returned flop charge follows Row-style accounting per tile row:
+// 2·nnz(row)·w + w over the w = chi-clo columns.
+func (p Params) CrossTile(a *la.Matrix, rows []int, b *la.Matrix, clo, chi int, dst []float64, ld int) float64 {
+	w := chi - clo
+	if w <= 0 || len(rows) == 0 {
+		return 0
+	}
+	if p.Kind == Gaussian {
+		a.EnsureNorms()
+		b.EnsureNorms()
+	}
+	la.MulTile(a, rows, b, clo, chi, dst, ld)
+	var flops float64
+	for r, i := range rows {
+		out := dst[r*ld : r*ld+w]
+		if p.Kind == Gaussian {
+			ni := a.SqNormRow(i)
+			for c := clo; c < chi; c++ {
+				d := ni + b.SqNormRow(c) - 2*out[c-clo]
+				if d < 0 {
+					d = 0
+				}
+				out[c-clo] = math.Exp(-p.Gamma * d)
+			}
+		} else {
+			for k, dot := range out {
+				out[k] = p.fromDot(dot, 0)
+			}
+		}
+		if a.Sparse() {
+			ix, _ := a.SparseRow(i)
+			flops += float64(2*len(ix)*w + w)
+		} else {
+			flops += float64(2*a.Features()*w + w)
+		}
+	}
+	return flops
+}
+
+// CrossRowPair computes two cross-matrix kernel columns in one sweep over
+// a's rows: dstH[i] = K(a_i, bh_jh) and dstL[i] = K(a_i, bl_jl). Each
+// column is bit-identical to the corresponding CrossRow call, and the
+// returned flop charge is the sum of the two CrossRow charges — the fusion
+// only halves the number of passes over a (Dis-SMO applies the high and
+// low updates back to back every iteration).
+func (p Params) CrossRowPair(a *la.Matrix, bh *la.Matrix, jh int, bl *la.Matrix, jl int, dstH, dstL []float64) float64 {
+	m := a.Rows()
+	dstH = dstH[:m]
+	dstL = dstL[:m]
+	if p.Kind == Gaussian {
+		a.EnsureNorms()
+		bh.EnsureNorms()
+		bl.EnsureNorms()
+	}
+	ch := p.openCrossCol(a, bh, jh)
+	cl := p.openCrossCol(a, bl, jl)
+	for i := 0; i < m; i++ {
+		dstH[i] = ch.eval(p, a, i)
+		dstL[i] = cl.eval(p, a, i)
+	}
+	ch.close()
+	cl.close()
+	return float64(2*a.NNZ() + (ch.nnz+1)*m + (cl.nnz+1)*m)
+}
+
+// crossCol is one prepared b-side column of a CrossRow evaluation: the b
+// row in whichever form the matching CrossRow storage path uses.
+type crossCol struct {
+	mode  int // 0: sparse×sparse, 1: dense×dense, 2: mixed (densified)
+	bi    []int32
+	bv    []float64
+	bNorm float64   // sparse×sparse Gaussian: b.SqNormRow(j)
+	xj    []float64 // dense or densified b row
+	xjsq  float64   // mixed Gaussian: la.SqNorm(xj)
+	nnz   int       // CrossRow's nnzJ term
+	buf   *[]float64
+}
+
+func (p Params) openCrossCol(a, b *la.Matrix, j int) crossCol {
+	var c crossCol
+	if b.Sparse() {
+		bi, _ := b.SparseRow(j)
+		c.nnz = len(bi)
+	} else {
+		c.nnz = b.Features()
+	}
+	switch {
+	case a.Sparse() && b.Sparse():
+		c.mode = 0
+		c.bi, c.bv = b.SparseRow(j)
+		if p.Kind == Gaussian {
+			c.bNorm = b.SqNormRow(j)
+		}
+	case !a.Sparse() && !b.Sparse():
+		c.mode = 1
+		c.xj = b.DenseRow(j)
+	default:
+		c.mode = 2
+		c.buf = getScratch(b.Features())
+		c.xj = b.RowInto(j, *c.buf)
+		c.xjsq = la.SqNorm(c.xj)
+	}
+	return c
+}
+
+func (c *crossCol) eval(p Params, a *la.Matrix, i int) float64 {
+	switch c.mode {
+	case 0:
+		ii, iv := a.SparseRow(i)
+		dot := la.SpDot(ii, iv, c.bi, c.bv)
+		if p.Kind == Gaussian {
+			d := a.SqNormRow(i) + c.bNorm - 2*dot
+			if d < 0 {
+				d = 0
+			}
+			return math.Exp(-p.Gamma * d)
+		}
+		return p.fromDot(dot, 0)
+	case 1:
+		if p.Kind == Gaussian {
+			return math.Exp(-p.Gamma * la.SqDist(a.DenseRow(i), c.xj))
+		}
+		return p.fromDot(la.Dot(a.DenseRow(i), c.xj), 0)
+	default:
+		if p.Kind == Gaussian {
+			return math.Exp(-p.Gamma * a.SqDistVec(i, c.xj, c.xjsq))
+		}
+		return p.fromDot(a.DotVec(i, c.xj), 0)
+	}
+}
+
+func (c *crossCol) close() {
+	if c.buf != nil {
+		putScratch(c.buf)
+		c.buf = nil
+	}
+}

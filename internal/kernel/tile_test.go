@@ -1,0 +1,260 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"casvm/internal/la"
+)
+
+// The tile engine's contract is bit-identity with the scalar paths it
+// replaces (the golden E2E hashes pin them), so all comparisons use ==.
+
+var tileKinds = []Params{
+	{Kind: Linear},
+	{Kind: Polynomial, Coef: 1, Degree: 2},
+	RBF(0.2),
+	{Kind: Sigmoid, Coef: 0.5, ScaleA: 0.7},
+}
+
+func TestTileMatchesRowBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for _, sparse := range []bool{false, true} {
+		a := denseMat(rng, 200, 11)
+		if sparse {
+			a = sparseMat(rng, 200, 30, 0.3)
+		}
+		for _, p := range tileKinds {
+			for _, rows := range [][]int{{0}, {7, 7}, {3, 199, 0}, {5, 4, 3, 2, 1}} {
+				dsts := make([][]float64, len(rows))
+				want := make([][]float64, len(rows))
+				for r := range rows {
+					dsts[r] = make([]float64, a.Rows())
+					want[r] = make([]float64, a.Rows())
+				}
+				var wantFlops float64
+				for r, i := range rows {
+					wantFlops += p.Row(a, i, want[r])
+				}
+				gotFlops := p.Tile(a, rows, dsts, 1)
+				if gotFlops != wantFlops {
+					t.Fatalf("kind=%v sparse=%v rows=%v: flops %v != %v",
+						p.Kind, sparse, rows, gotFlops, wantFlops)
+				}
+				for r := range rows {
+					for j := range want[r] {
+						if dsts[r][j] != want[r][j] {
+							t.Fatalf("kind=%v sparse=%v rows=%v: [%d][%d] %v != %v",
+								p.Kind, sparse, rows, r, j, dsts[r][j], want[r][j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTileParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for _, sparse := range []bool{false, true} {
+		a := denseMat(rng, 3000, 10)
+		if sparse {
+			a = sparseMat(rng, 3000, 40, 0.25)
+		}
+		p := RBF(0.15)
+		rows := []int{11, 2999, 0}
+		serial := [][]float64{make([]float64, a.Rows()), make([]float64, a.Rows()), make([]float64, a.Rows())}
+		par := [][]float64{make([]float64, a.Rows()), make([]float64, a.Rows()), make([]float64, a.Rows())}
+		fs := p.Tile(a, rows, serial, 1)
+		fp := p.Tile(a, rows, par, 4)
+		if fs != fp {
+			t.Fatalf("sparse=%v: flops %v vs %v", sparse, fs, fp)
+		}
+		for r := range rows {
+			for j := range serial[r] {
+				if serial[r][j] != par[r][j] {
+					t.Fatalf("sparse=%v: [%d][%d] differs", sparse, r, j)
+				}
+			}
+		}
+	}
+}
+
+// mats builds the four storage pairings (a, b) the CrossTile dispatch
+// covers, with distinct feature widths kept equal within a pairing.
+func crossMats(rng *rand.Rand) [][2]*la.Matrix {
+	n := 13
+	return [][2]*la.Matrix{
+		{denseMat(rng, 9, n), denseMat(rng, 17, n)},
+		{sparseMat(rng, 9, n, 0.4), sparseMat(rng, 17, n, 0.4)},
+		{sparseMat(rng, 9, n, 0.4), denseMat(rng, 17, n)},
+		{denseMat(rng, 9, n), sparseMat(rng, 17, n, 0.4)},
+	}
+}
+
+func TestCrossTileMatchesEvalBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for pi, pair := range crossMats(rng) {
+		a, b := pair[0], pair[1]
+		for _, p := range tileKinds {
+			// Ragged tile shapes: odd row counts and column windows.
+			for _, sh := range []struct {
+				rows     []int
+				clo, chi int
+			}{
+				{[]int{0}, 0, 1},
+				{[]int{8, 1, 5}, 3, 16},
+				{[]int{0, 1, 2, 3, 4}, 0, 17},
+				{[]int{6, 2}, 16, 17},
+			} {
+				w := sh.chi - sh.clo
+				ld := w + 2
+				dst := make([]float64, len(sh.rows)*ld)
+				p.CrossTile(a, sh.rows, b, sh.clo, sh.chi, dst, ld)
+				for r, i := range sh.rows {
+					for c := sh.clo; c < sh.chi; c++ {
+						got := dst[r*ld+(c-sh.clo)]
+						if want := p.Eval(a, i, b, c); got != want {
+							t.Fatalf("pair=%d kind=%v rows=%v c=%d: tile=%v eval=%v",
+								pi, p.Kind, sh.rows, c, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCrossTileSameMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	for _, sparse := range []bool{false, true} {
+		a := denseMat(rng, 15, 7)
+		if sparse {
+			a = sparseMat(rng, 15, 20, 0.4)
+		}
+		for _, p := range tileKinds {
+			rows := []int{14, 0, 7}
+			dst := make([]float64, len(rows)*a.Rows())
+			p.CrossTile(a, rows, a, 0, a.Rows(), dst, a.Rows())
+			for r, i := range rows {
+				for c := 0; c < a.Rows(); c++ {
+					got := dst[r*a.Rows()+c]
+					if want := p.Eval(a, i, a, c); got != want {
+						t.Fatalf("sparse=%v kind=%v (%d,%d): tile=%v eval=%v",
+							sparse, p.Kind, i, c, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCrossRowPairMatchesCrossRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	for pi, pair := range crossMats(rng) {
+		a, b := pair[0], pair[1]
+		for _, p := range tileKinds {
+			m := a.Rows()
+			wantH := make([]float64, m)
+			wantL := make([]float64, m)
+			fw := p.CrossRow(a, b, 2, wantH) + p.CrossRow(a, b, 9, wantL)
+			gotH := make([]float64, m)
+			gotL := make([]float64, m)
+			fg := p.CrossRowPair(a, b, 2, b, 9, gotH, gotL)
+			if fg != fw {
+				t.Fatalf("pair=%d kind=%v: flops %v != %v", pi, p.Kind, fg, fw)
+			}
+			for i := 0; i < m; i++ {
+				if gotH[i] != wantH[i] || gotL[i] != wantL[i] {
+					t.Fatalf("pair=%d kind=%v i=%d: (%v,%v) != (%v,%v)",
+						pi, p.Kind, i, gotH[i], gotL[i], wantH[i], wantL[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPrefetchPairMatchesSequentialRows drives two caches with an identical
+// random pair trace — one calling PrefetchPair before the Row reads, one
+// just calling Row — and demands identical row values, miss counts, flop
+// charges and (via subsequent behavior) identical eviction decisions.
+func TestPrefetchPairMatchesSequentialRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	for _, sparse := range []bool{false, true} {
+		a := denseMat(rng, 120, 6)
+		if sparse {
+			a = sparseMat(rng, 120, 25, 0.3)
+		}
+		p := RBF(0.3)
+		for _, capacity := range []int{2, 3, 16} {
+			cp := NewRowCache(p, a, capacity)
+			cs := NewRowCache(p, a, capacity)
+			for step := 0; step < 2000; step++ {
+				i, j := rng.Intn(24), rng.Intn(24)
+				if rng.Intn(5) == 0 {
+					i, j = rng.Intn(120), rng.Intn(120)
+				}
+				cp.PrefetchPair(i, j)
+				pi, pj := cp.Row(i), cp.Row(j)
+				si, sj := cs.Row(i), cs.Row(j)
+				for k := range si {
+					if pi[k] != si[k] || pj[k] != sj[k] {
+						t.Fatalf("cap=%d step=%d pair(%d,%d): rows differ at %d",
+							capacity, step, i, j, k)
+					}
+				}
+			}
+			_, mp, fp := cp.Stats()
+			_, ms, fs := cs.Stats()
+			if mp != ms || fp != fs {
+				t.Fatalf("cap=%d sparse=%v: prefetch (misses=%d flops=%g) vs sequential (misses=%d flops=%g)",
+					capacity, sparse, mp, fp, ms, fs)
+			}
+		}
+	}
+}
+
+// TestPrefetchPairAllocFree pins the prefetch path at zero allocations in
+// steady state, like Row.
+func TestPrefetchPairAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(87))
+	a := denseMat(rng, 200, 8)
+	c := NewRowCache(RBF(0.3), a, 8)
+	idx := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		c.PrefetchPair(idx%40, (idx*7)%40)
+		idx++
+	})
+	if allocs != 0 {
+		t.Fatalf("PrefetchPair allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkCrossTile prices the blocked query×SV panel against per-element
+// Eval — the kernel-level half of the batch-predict speedup.
+func BenchmarkCrossTile(b *testing.B) {
+	rng := rand.New(rand.NewSource(88))
+	const nq, nsv, n = 64, 2048, 64
+	q := denseMat(rng, nq, n)
+	sv := denseMat(rng, nsv, n)
+	p := RBF(0.1)
+	rows := make([]int, nq)
+	for i := range rows {
+		rows[i] = i
+	}
+	dst := make([]float64, nq*nsv)
+	b.Run("tile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.CrossTile(q, rows, sv, 0, nsv, dst, nsv)
+		}
+	})
+	b.Run("eval", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < nq; r++ {
+				for c := 0; c < nsv; c++ {
+					dst[r*nsv+c] = p.Eval(q, r, sv, c)
+				}
+			}
+		}
+	})
+}

@@ -89,23 +89,14 @@ func (m *Model) Predict(q *la.Matrix, qi int) float64 {
 	return m.Fallback
 }
 
-// PredictAll labels every row of q.
-func (m *Model) PredictAll(q *la.Matrix) []float64 {
-	out := make([]float64, q.Rows())
-	for i := range out {
-		out[i] = m.Predict(q, i)
-	}
-	return out
-}
-
 // Accuracy returns the fraction of rows of q whose prediction matches y.
 func (m *Model) Accuracy(q *la.Matrix, y []float64) float64 {
 	if q.Rows() == 0 {
 		return 0
 	}
 	correct := 0
-	for i := 0; i < q.Rows(); i++ {
-		if m.Predict(q, i) == y[i] {
+	for i, p := range m.PredictAll(q) {
+		if p == y[i] {
 			correct++
 		}
 	}
@@ -153,23 +144,14 @@ func (s *Set) Decision(q *la.Matrix, qi int) float64 {
 	return m.Decision(q, qi)
 }
 
-// PredictAll labels every row of q.
-func (s *Set) PredictAll(q *la.Matrix) []float64 {
-	out := make([]float64, q.Rows())
-	for i := range out {
-		out[i] = s.Predict(q, i)
-	}
-	return out
-}
-
 // Accuracy returns the routed-prediction accuracy on (q, y).
 func (s *Set) Accuracy(q *la.Matrix, y []float64) float64 {
 	if q.Rows() == 0 {
 		return 0
 	}
 	correct := 0
-	for i := 0; i < q.Rows(); i++ {
-		if s.Predict(q, i) == y[i] {
+	for i, p := range s.PredictAll(q) {
+		if p == y[i] {
 			correct++
 		}
 	}
@@ -271,8 +253,7 @@ func (c Confusion) F1() float64 {
 // Confusion evaluates routed predictions against labels.
 func (s *Set) Confusion(q *la.Matrix, y []float64) Confusion {
 	var c Confusion
-	for i := 0; i < q.Rows(); i++ {
-		pred := s.Predict(q, i)
+	for i, pred := range s.PredictAll(q) {
 		switch {
 		case pred > 0 && y[i] > 0:
 			c.TP++

@@ -1,0 +1,96 @@
+package smo
+
+import (
+	"math/rand"
+	"testing"
+
+	"casvm/internal/kernel"
+	"casvm/internal/la"
+)
+
+// TestTiledPrefetchMatchesUnprefetched proves the pair prefetch (both
+// working-set kernel rows filled through one shared-streaming tile before
+// PairDeltas) leaves the whole training trajectory untouched: multipliers,
+// bias, iteration counts and flop totals are bit-identical with the
+// prefetch disabled, across selection modes, storage formats and thread
+// counts — the same way TestFusedMatchesUnfused pins the fused pass.
+func TestTiledPrefetchMatchesUnprefetched(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	de, y := twoBlobs(rng, 150, 2, 0.9)
+	sp := sparseCopy(de)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"first-order", Config{C: 1, Tol: 1e-3, Kernel: kernel.RBF(0.5)}},
+		{"wss2", Config{C: 1, Tol: 1e-3, Kernel: kernel.RBF(0.5), SecondOrder: true}},
+		{"shrinking", Config{C: 1, Tol: 1e-3, Kernel: kernel.RBF(0.5), Shrinking: true}},
+		{"small-cache", Config{C: 1, Tol: 1e-3, Kernel: kernel.RBF(0.5), CacheRows: 4}},
+		{"linear", Config{C: 1, Tol: 1e-3, Kernel: kernel.Params{Kind: kernel.Linear}, MaxIter: 500}},
+	}
+	for _, tc := range cases {
+		for _, mat := range []struct {
+			name string
+			x    *la.Matrix
+		}{{"dense", de}, {"sparse", sp}} {
+			for _, threads := range []int{1, 4} {
+				on := tc.cfg
+				on.Threads = threads
+				off := on
+				off.disableTilePrefetch = true
+				want, err := Solve(mat.x, y, off, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := Solve(mat.x, y, on, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireIdentical(t, tc.name+"/"+mat.name, got, want)
+			}
+		}
+	}
+}
+
+// TestApplyExternalPairMatchesSequential pins the fused distributed pair
+// update against the two sequential ApplyExternalUpdate calls it replaces:
+// identical f vectors and identical flop charges, for both storage kinds
+// and both kernel families.
+func TestApplyExternalPairMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	de, y := twoBlobs(rng, 80, 2, 0.8)
+	sp := sparseCopy(de)
+	for _, mat := range []struct {
+		name string
+		x    *la.Matrix
+	}{{"dense", de}, {"sparse", sp}} {
+		for _, p := range []kernel.Params{kernel.RBF(0.4), {Kind: kernel.Linear}} {
+			cfg := Config{C: 1, Tol: 1e-3, Kernel: p}
+			ext := mat.x.Subset([]int{3, 117})
+			mk := func() *Solver {
+				s, err := New(mat.x, y, cfg, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			}
+			sSeq := mk()
+			sPair := mk()
+			m := mat.x.Rows()
+			buf := make([]float64, m)
+			sSeq.ApplyExternalUpdate(ext, 0, 1, 0.25, buf)
+			sSeq.ApplyExternalUpdate(ext, 1, -1, 0.5, buf)
+			bufH := make([]float64, m)
+			bufL := make([]float64, m)
+			sPair.ApplyExternalPair(ext, 0, 1, 0.25, ext, 1, -1, 0.5, bufH, bufL)
+			if fs, fp := sSeq.TakeFlops(), sPair.TakeFlops(); fs != fp {
+				t.Fatalf("%s/%v: flops %v vs %v", mat.name, p.Kind, fs, fp)
+			}
+			for i := range sSeq.f {
+				if sSeq.f[i] != sPair.f[i] {
+					t.Fatalf("%s/%v: f[%d] %v vs %v", mat.name, p.Kind, i, sSeq.f[i], sPair.f[i])
+				}
+			}
+		}
+	}
+}

@@ -154,6 +154,9 @@ func (s *Solver) stepShrinking() (done bool) {
 			iLow = j
 		}
 	}
+	if !s.cfg.disableTilePrefetch {
+		s.cache.PrefetchPair(iHigh, iLow)
+	}
 	u := s.PairDeltas(iHigh, iLow)
 	if u.DAlphaHigh == 0 && u.DAlphaLow == 0 {
 		return true

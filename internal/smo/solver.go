@@ -99,6 +99,12 @@ type Config struct {
 	// TelemetryRank labels this solver's samples in the shared ring
 	// (the mpi rank in distributed runs).
 	TelemetryRank int
+
+	// disableTilePrefetch turns off the pair prefetch that fills both
+	// working-set kernel rows through one shared-streaming tile. Settable
+	// only from package tests: the prefetched and unprefetched paths are
+	// bit-identical, and the equivalence test needs both.
+	disableTilePrefetch bool
 }
 
 func (c Config) posWeight() float64 {
@@ -445,6 +451,22 @@ func (s *Solver) ApplyExternalUpdate(ext *la.Matrix, extIdx int, yExt, dAlpha fl
 	s.flops += float64(2 * len(s.f))
 }
 
+// ApplyExternalPair applies both halves of a distributed pair update in one
+// pass: the two cross-kernel columns are computed by a single fused sweep
+// over the local matrix (kernel.Params.CrossRowPair) and f receives both
+// axpy contributions in high-then-low order. Results and flop charges are
+// bit-identical to ApplyExternalUpdate for the high sample followed by
+// ApplyExternalUpdate for the low sample.
+func (s *Solver) ApplyExternalPair(extH *la.Matrix, hIdx int, yH, dAH float64,
+	extL *la.Matrix, lIdx int, yL, dAL float64, bufH, bufL []float64) {
+	s.invalidateExtremes()
+	s.flops += s.cfg.Kernel.CrossRowPair(s.x, extH, hIdx, extL, lIdx, bufH, bufL)
+	la.Axpy(dAH*yH, bufH[:len(s.f)], s.f)
+	s.flops += float64(2 * len(s.f))
+	la.Axpy(dAL*yL, bufL[:len(s.f)], s.f)
+	s.flops += float64(2 * len(s.f))
+}
+
 // AddAlpha adds d to alpha[i], clipping to [0, C_i] and snapping edge dust.
 func (s *Solver) AddAlpha(i int, d float64) {
 	s.invalidateExtremes()
@@ -468,6 +490,12 @@ func (s *Solver) Step() (done bool) {
 		if j := s.secondOrderLow(iHigh, bHigh); j >= 0 {
 			iLow = j
 		}
+	}
+	// Both working-set rows are needed by PairDeltas and the fused update;
+	// filling any misses through one tile streams the training matrix once
+	// for the pair. Cache state and flops are identical to the demand fills.
+	if !s.cfg.disableTilePrefetch {
+		s.cache.PrefetchPair(iHigh, iLow)
 	}
 	u := s.PairDeltas(iHigh, iLow)
 	if u.DAlphaHigh == 0 && u.DAlphaLow == 0 {
