@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-matrix vet check fuzz fuzz-smoke bench bench-kernel bench-e2e bench-diff serve-smoke soak soak-cluster cover
+.PHONY: build test race race-matrix vet check fuzz fuzz-smoke bench bench-kernel bench-e2e bench-serve bench-diff serve-smoke soak soak-cluster cover
 
 build:
 	$(GO) build ./...
@@ -20,19 +20,23 @@ race:
 race-matrix:
 	$(GO) test -race -cpu 1,4 ./internal/mpi ./internal/tcpmpi \
 		./internal/faults ./internal/core ./internal/pool ./internal/trace \
-		./internal/cluster ./internal/kernel ./internal/la
+		./internal/cluster ./internal/kernel ./internal/la ./internal/serve
 
 # fuzz-smoke runs every fuzz target's seed corpus (no exploration) so the
 # corpora cannot rot; `make fuzz` does the time-boxed exploration.
 fuzz-smoke:
-	$(GO) test -run 'Fuzz' ./internal/data ./internal/tcpmpi ./internal/trace
+	$(GO) test -run 'Fuzz' ./internal/data ./internal/tcpmpi ./internal/trace \
+		./internal/serve
 
 # serve-smoke boots the live telemetry server against a real training run
 # held mid-flight (TestServeSmoke) and against a cluster coordinator with
 # per-job namespaces (TestServeClusterNamespaces), scraping /metrics,
-# /report, /events, /jobs and /debug/pprof.
+# /report, /events, /jobs and /debug/pprof — plus the whole inference-plane
+# suite (HTTP smoke, batched-vs-sequential equivalence, hot-reload torn-model
+# hammering) under the race detector.
 serve-smoke:
 	$(GO) test -race -count=1 -run 'TestServe' ./internal/telemetry
+	$(GO) test -race -count=1 ./internal/serve
 
 # check is the full verification gate: vet, the whole suite under the race
 # detector (which includes the TestChaosMatrix fault smoke: six methods ×
@@ -87,6 +91,16 @@ bench-e2e:
 		| $(GO) run ./cmd/benchjson > BENCH_e2e.json
 	@echo wrote BENCH_e2e.json
 
+# bench-serve records the sustained-load serving benchmark in
+# BENCH_serve.json: the face-like compressed model served over real HTTP
+# with binary query payloads at client concurrency 2·GOMAXPROCS. One op is
+# one 256-query request, so ns/op is per-request wall time; the extra
+# metrics carry the headline preds/s and exact p50/p99 request latency.
+bench-serve:
+	$(GO) test ./internal/serve -run '^$$' -bench BenchmarkServeSustained \
+		-benchtime 1500x | $(GO) run ./cmd/benchjson > BENCH_serve.json
+	@echo wrote BENCH_serve.json
+
 # bench-diff re-runs the e2e and tile-engine suites and exits nonzero when
 # any benchmark's ns/op regressed past the threshold ratio against the
 # committed baselines (0.5 = 50%, generous because single-iteration wall
@@ -103,6 +117,11 @@ bench-diff:
 	$(GO) run ./cmd/benchjson -diff -threshold $(BENCH_DIFF_THRESHOLD) \
 		BENCH_kernel.json BENCH_kernel.new.json
 	@rm -f BENCH_kernel.new.json
+	$(GO) test ./internal/serve -run '^$$' -bench BenchmarkServeSustained \
+		-benchtime 1500x | $(GO) run ./cmd/benchjson > BENCH_serve.new.json
+	$(GO) run ./cmd/benchjson -diff -threshold $(BENCH_DIFF_THRESHOLD) \
+		BENCH_serve.json BENCH_serve.new.json
+	@rm -f BENCH_serve.new.json
 
 # Short fuzz sweep over every fuzz target (parsers, the wire-frame
 # decoder, and the run-report round trip); seed corpora also run in
@@ -111,11 +130,15 @@ fuzz:
 	$(GO) test -fuzz FuzzReadLIBSVM -fuzztime 10s ./internal/data
 	$(GO) test -fuzz FuzzReadFrame -fuzztime 10s ./internal/tcpmpi
 	$(GO) test -fuzz FuzzRunReportRoundTrip -fuzztime 10s ./internal/trace
+	$(GO) test -run 'Fuzz' -fuzz FuzzDecodePredictRequest -fuzztime 10s ./internal/serve
 
-# cover enforces a 70% statement-coverage floor on the observability and
-# modeling packages (the ones whose regressions are silent).
+# cover enforces statement-coverage floors on the packages whose
+# regressions are silent: 70% on the observability/modeling set, 80% on the
+# inference plane (it fronts production traffic, so its error paths must be
+# exercised, not just its happy path).
 COVER_PKGS = ./internal/trace ./internal/trace/critpath ./internal/perfmodel ./internal/expt \
-	./internal/kernel ./internal/la
+	./internal/kernel ./internal/la ./internal/compress
+COVER_PKGS_80 = ./internal/serve
 cover:
 	@for pkg in $(COVER_PKGS); do \
 		out=$$($(GO) test -cover $$pkg | tail -1); \
@@ -125,4 +148,12 @@ cover:
 		if ! awk -v p="$$pct" 'BEGIN{exit (p>=70)?0:1}'; then \
 			echo "FAIL: $$pkg coverage $$pct% < 70%"; exit 1; fi; \
 	done
-	@echo "coverage floor (70%) passed"
+	@for pkg in $(COVER_PKGS_80); do \
+		out=$$($(GO) test -cover $$pkg | tail -1); \
+		echo "$$out"; \
+		pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "FAIL: no coverage for $$pkg"; exit 1; fi; \
+		if ! awk -v p="$$pct" 'BEGIN{exit (p>=80)?0:1}'; then \
+			echo "FAIL: $$pkg coverage $$pct% < 80%"; exit 1; fi; \
+	done
+	@echo "coverage floors (70%/80%) passed"

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 
+	"casvm/internal/compress"
 	"casvm/internal/core"
 	"casvm/internal/data"
 	"casvm/internal/kernel"
@@ -297,4 +298,26 @@ func LoadModelSet(path string) (*ModelSet, error) {
 		return nil, fmt.Errorf("casvm: load %s: %w", path, err)
 	}
 	return s, nil
+}
+
+// CompressOptions configures the support-vector compression pass (centroid
+// budgeting plus small-α pruning); see compress.Options for field docs.
+type CompressOptions = compress.Options
+
+// CompressionStats summarises a compression pass (SV counts before/after,
+// per-model detail).
+type CompressionStats = compress.Stats
+
+// CompressModelSet shrinks a trained model set to at most o.Budget support
+// vectors per partition model, re-weighting the survivors by a reduced-set
+// least-squares fit so the decision surface tracks the full model.
+func CompressModelSet(s *ModelSet, o CompressOptions) (*ModelSet, CompressionStats, error) {
+	return compress.Set(s, o)
+}
+
+// AnnotateCompression measures full vs compressed accuracy on (q, y) and
+// embeds the delta in the compressed set's metadata, so serving layers can
+// surface the trade-off the model file carries.
+func AnnotateCompression(compressed, full *ModelSet, q *Matrix, y []float64) (fullAcc, compressedAcc float64) {
+	return compress.Annotate(compressed, full, q, y)
 }

@@ -33,6 +33,10 @@ type Result struct {
 	BPerOp   *int64  `json:"bytes_per_op,omitempty"`
 	AllocsOp *int64  `json:"allocs_per_op,omitempty"`
 	MBPerSec float64 `json:"mb_per_s,omitempty"`
+	// Extra holds custom units reported via b.ReportMetric (e.g. the serve
+	// suite's preds/s and p99-ns), keyed by unit string. Informational:
+	// diff mode gates only ns/op.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the emitted document.
@@ -134,6 +138,11 @@ func parseLine(line string) (Result, bool) {
 			r.AllocsOp = &a
 		case "MB/s":
 			r.MBPerSec = v
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[fields[i+1]] = v
 		}
 	}
 	return r, r.NsPerOp > 0

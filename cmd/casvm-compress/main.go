@@ -1,0 +1,70 @@
+// casvm-compress shrinks a saved model set for serving: per-partition
+// K-means centroid budgeting plus small-α pruning, with the surviving
+// support vectors re-weighted by a reduced-set least-squares fit. When an
+// evaluation file is given, the measured accuracy delta is embedded in the
+// output model's metadata so the serving layer can report the trade-off.
+//
+// Usage:
+//
+//	casvm-compress -in full.model -out small.model -budget 32 [-prune 0.01] [-eval test.svm]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"casvm"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "casvm-compress:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("casvm-compress", flag.ContinueOnError)
+	var (
+		in     = fs.String("in", "", "input model path")
+		out    = fs.String("out", "", "output model path")
+		budget = fs.Int("budget", 64, "max support vectors per partition model (0 = prune only)")
+		prune  = fs.Float64("prune", 0.01, "drop SVs with α below this fraction of the model's max α")
+		seed   = fs.Int64("seed", 1, "K-means seed (same budget+seed ⇒ same output model)")
+		eval   = fs.String("eval", "", "LIBSVM-format file to measure the accuracy delta on")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("-in and -out are required")
+	}
+	full, err := casvm.LoadModelSet(*in)
+	if err != nil {
+		return err
+	}
+	small, st, err := casvm.CompressModelSet(full, casvm.CompressOptions{
+		Budget: *budget, PruneFrac: *prune, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "compressed %d → %d SVs (ratio %.3f) across %d models\n",
+		st.SVBefore, st.SVAfter, st.Ratio(), len(st.PerModel))
+	if *eval != "" {
+		ds, err := casvm.DatasetFromLIBSVM(*eval, full.Centers.Features())
+		if err != nil {
+			return err
+		}
+		fullAcc, compAcc := casvm.AnnotateCompression(small, full, ds.X, ds.Y)
+		fmt.Fprintf(stdout, "accuracy: full %.4f → compressed %.4f (delta %+.4f)\n",
+			fullAcc, compAcc, compAcc-fullAcc)
+	}
+	if err := casvm.SaveModelSet(*out, small); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", *out)
+	return nil
+}

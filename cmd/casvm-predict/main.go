@@ -1,6 +1,9 @@
 // casvm-predict classifies a LIBSVM-format file with a saved casvm model
 // set, printing one ±1 prediction per line and, when the file carries
-// labels, the accuracy.
+// labels, the accuracy. Predictions go through the batched PredictAll tile
+// path — the same engine the serving plane uses — so classifying a large
+// file streams the support-vector matrix once per tile instead of once per
+// sample.
 //
 // Usage:
 //
@@ -11,34 +14,45 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"casvm"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "casvm-predict:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("casvm-predict", flag.ContinueOnError)
 	var (
-		modelP = flag.String("model", "casvm.model", "model path")
-		file   = flag.String("file", "", "LIBSVM-format input file")
-		quiet  = flag.Bool("quiet", false, "suppress per-sample output")
+		modelP = fs.String("model", "casvm.model", "model path")
+		file   = fs.String("file", "", "LIBSVM-format input file")
+		quiet  = fs.Bool("quiet", false, "suppress per-sample output")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *file == "" {
-		fail(fmt.Errorf("-file is required"))
+		return fmt.Errorf("-file is required")
 	}
 	set, err := casvm.LoadModelSet(*modelP)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	ds, err := casvm.DatasetFromLIBSVM(*file, set.Centers.Features())
 	if err != nil {
-		fail(err)
+		return err
 	}
-	w := bufio.NewWriter(os.Stdout)
+	preds := set.PredictAll(ds.X)
+	w := bufio.NewWriter(stdout)
 	defer w.Flush()
 	correct := 0
-	for i := 0; i < ds.X.Rows(); i++ {
-		pred := set.Predict(ds.X, i)
+	for i, pred := range preds {
 		if !*quiet {
 			fmt.Fprintf(w, "%+.0f\n", pred)
 		}
@@ -47,10 +61,6 @@ func main() {
 		}
 	}
 	fmt.Fprintf(w, "accuracy: %.2f%% (%d/%d)\n",
-		100*float64(correct)/float64(ds.X.Rows()), correct, ds.X.Rows())
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "casvm-predict:", err)
-	os.Exit(1)
+		100*float64(correct)/float64(len(preds)), correct, len(preds))
+	return nil
 }

@@ -180,3 +180,32 @@ func (s *Set) PredictAll(q *la.Matrix) []float64 {
 	}
 	return out
 }
+
+// DecisionAll evaluates the routed decision value for every row of q,
+// bit-identical to per-row Set.Decision (including the tiny fallback-signed
+// value an SV-less model yields).
+func (s *Set) DecisionAll(q *la.Matrix) []float64 {
+	routes := s.RouteAll(q)
+	out := make([]float64, q.Rows())
+	byModel := make([][]int, s.P())
+	for qi, r := range routes {
+		byModel[r] = append(byModel[r], qi)
+	}
+	for r, group := range byModel {
+		if len(group) == 0 {
+			continue
+		}
+		m := s.Models[r]
+		if m.NSV() == 0 {
+			for _, qi := range group {
+				out[qi] = m.Fallback * 1e-9
+			}
+			continue
+		}
+		decs := m.DecisionAll(q.Subset(group))
+		for k, qi := range group {
+			out[qi] = decs[k]
+		}
+	}
+	return out
+}

@@ -176,6 +176,12 @@ func TestSetPredictAllMatchesPerRow(t *testing.T) {
 				correct++
 			}
 		}
+		decs := set.DecisionAll(q)
+		for qi := range decs {
+			if want := set.Decision(q, qi); decs[qi] != want {
+				t.Fatalf("decision[%d] %v != %v", qi, decs[qi], want)
+			}
+		}
 		if acc := set.Accuracy(q, y); acc != float64(correct)/float64(len(y)) {
 			t.Fatalf("accuracy %v", acc)
 		}

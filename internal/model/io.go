@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -17,6 +18,7 @@ import (
 //	models <P>
 //	features <n>
 //	kernel <kind> gamma <g> coef <r> scale <a> degree <d>
+//	meta <key> <value>                         (optional, sorted by key)
 //	centers
 //	<P lines of n space-separated floats>
 //	model <j> nsv <k> bias <b> fallback <±1>
@@ -35,6 +37,19 @@ func SaveSet(w io.Writer, s *Set) error {
 	k := s.Models[0].Kernel
 	fmt.Fprintf(bw, "kernel %s gamma %g coef %g scale %g degree %d\n",
 		k.Kind, k.Gamma, k.Coef, k.ScaleA, k.Degree)
+	if len(s.Meta) > 0 {
+		keys := make([]string, 0, len(s.Meta))
+		for key := range s.Meta {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			if strings.ContainsAny(key, " \n") || strings.ContainsRune(s.Meta[key], '\n') {
+				return fmt.Errorf("model: meta %q unencodable (space in key or newline)", key)
+			}
+			fmt.Fprintf(bw, "meta %s %s\n", key, s.Meta[key])
+		}
+	}
 	fmt.Fprintf(bw, "centers\n")
 	for c := 0; c < s.Centers.Rows(); c++ {
 		row := s.Centers.DenseRow(c)
@@ -113,8 +128,25 @@ func LoadSet(r io.Reader) (*Set, error) {
 	if kp.Kind, err = kernel.ParseKind(kindStr); err != nil {
 		return nil, err
 	}
-	if line, err = next(); err != nil || line != "centers" {
-		return nil, fmt.Errorf("model: want centers, got %q (%v)", line, err)
+	if line, err = next(); err != nil {
+		return nil, err
+	}
+	var meta map[string]string
+	for strings.HasPrefix(line, "meta ") {
+		key, value, ok := strings.Cut(strings.TrimPrefix(line, "meta "), " ")
+		if !ok || key == "" {
+			return nil, fmt.Errorf("model: bad meta line %q", line)
+		}
+		if meta == nil {
+			meta = map[string]string{}
+		}
+		meta[key] = value
+		if line, err = next(); err != nil {
+			return nil, err
+		}
+	}
+	if line != "centers" {
+		return nil, fmt.Errorf("model: want centers, got %q", line)
 	}
 	centerData := make([]float64, 0, p*n)
 	for c := 0; c < p; c++ {
@@ -133,7 +165,7 @@ func LoadSet(r io.Reader) (*Set, error) {
 			centerData = append(centerData, v)
 		}
 	}
-	set := &Set{Centers: la.NewDense(p, n, centerData)}
+	set := &Set{Centers: la.NewDense(p, n, centerData), Meta: meta}
 	for j := 0; j < p; j++ {
 		if line, err = next(); err != nil {
 			return nil, err

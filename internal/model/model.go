@@ -109,6 +109,21 @@ func (m *Model) Accuracy(q *la.Matrix, y []float64) float64 {
 type Set struct {
 	Models  []*Model
 	Centers *la.Matrix
+
+	// Meta carries free-form provenance annotations (compression budget,
+	// measured accuracy delta, source hash). It serialises as sorted
+	// `meta <key> <value>` lines; an empty map writes nothing, so sets
+	// without metadata keep their historical byte-exact encoding (and
+	// therefore their ModelHash).
+	Meta map[string]string
+}
+
+// SetMeta records one metadata annotation, allocating the map on first use.
+func (s *Set) SetMeta(key, value string) {
+	if s.Meta == nil {
+		s.Meta = map[string]string{}
+	}
+	s.Meta[key] = value
 }
 
 // P returns the number of partitions/models.

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"casvm/internal/la"
+	"casvm/internal/trace"
+)
+
+// The micro-batcher is the throughput lever of the serving plane: many
+// concurrent requests coalesce into one blocked Set.PredictAll evaluation,
+// so the support-vector matrix streams through the kernel tile engine once
+// per batch instead of once per request. Two budgets bound the coalescing:
+//
+//   - MaxBatch: flush as soon as the pending queries reach this count
+//     (throughput bound — tiles are full, amortisation is maximal);
+//   - MaxDelay: flush this long after the first query went pending
+//     (latency bound — a lone request never waits for company longer
+//     than the budget).
+//
+// A request is an atomic unit: all its queries land in the same flush and
+// are therefore evaluated against the same model Snapshot. Batching never
+// changes results — PredictAll is bit-identical to per-row Predict no
+// matter how requests interleave, which TestBatchEquivalence pins.
+
+// BatcherConfig bounds the coalescing window.
+type BatcherConfig struct {
+	// MaxBatch flushes when this many queries are pending (≤ 0 selects 256).
+	MaxBatch int
+	// MaxDelay flushes this long after the first pending query arrived
+	// (≤ 0 selects 2ms).
+	MaxDelay time.Duration
+	// QueueDepth bounds requests waiting to enter a batch (≤ 0 selects 1024).
+	QueueDepth int
+}
+
+// Defaulted returns cfg with zero fields resolved.
+func (cfg BatcherConfig) Defaulted() BatcherConfig {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 2 * time.Millisecond
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	return cfg
+}
+
+// batchReq is one enqueued request: flattened rows plus the reply channel.
+type batchReq struct {
+	rows      []float64 // nq × width, row-major
+	nq, width int
+	decisions bool
+	done      chan batchOut
+}
+
+// batchOut is the per-request slice of one flush's results.
+type batchOut struct {
+	labels     []float64
+	decisions  []float64
+	generation uint64
+	batchSize  int
+	err        error
+}
+
+// batcherMetrics groups the observability handles (all nil-safe).
+type batcherMetrics struct {
+	batches    *trace.Counter
+	flushFull  *trace.Counter
+	flushTimer *trace.Counter
+	batchSize  *trace.Histogram
+	queueDepth *trace.Gauge
+}
+
+// Batcher coalesces requests for one model handle. One goroutine owns the
+// pending set; flushes run inline in that goroutine (PredictAll itself
+// fans out across query blocks on the shared worker pool).
+type Batcher struct {
+	handle *Handle
+	cfg    BatcherConfig
+	m      batcherMetrics
+	reqs   chan *batchReq
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// newBatcher starts the coalescing loop for h.
+func newBatcher(h *Handle, cfg BatcherConfig, m batcherMetrics) *Batcher {
+	b := &Batcher{
+		handle: h,
+		cfg:    cfg.Defaulted(),
+		m:      m,
+		reqs:   make(chan *batchReq, cfg.Defaulted().QueueDepth),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// Close flushes the pending batch and stops the loop.
+func (b *Batcher) Close() {
+	close(b.stop)
+	<-b.done
+}
+
+// Predict enqueues one validated request and blocks until its batch
+// flushes. rows is retained until the flush; callers must not reuse it.
+func (b *Batcher) Predict(rows []float64, nq, width int, decisions bool) (batchOut, error) {
+	r := &batchReq{rows: rows, nq: nq, width: width, decisions: decisions, done: make(chan batchOut, 1)}
+	select {
+	case b.reqs <- r:
+	default:
+		return batchOut{}, fmt.Errorf("serve: model %q queue full (%d requests pending)", b.handle.Name, cap(b.reqs))
+	}
+	select {
+	case out := <-r.done:
+		return out, out.err
+	case <-b.done:
+		return batchOut{}, fmt.Errorf("serve: batcher for %q shut down", b.handle.Name)
+	}
+}
+
+// run is the coalescing loop. The timer arms when the first request of a
+// batch arrives and is quenched on every flush, so MaxDelay measures the
+// oldest pending request's wait, not an arbitrary tick phase.
+func (b *Batcher) run() {
+	defer close(b.done)
+	var pending []*batchReq
+	var pendingQ int
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	flush := func(full bool) {
+		if len(pending) == 0 {
+			return
+		}
+		if full {
+			b.m.flushFull.Inc()
+		} else {
+			b.m.flushTimer.Inc()
+		}
+		b.flush(pending, pendingQ)
+		pending, pendingQ = nil, 0
+		b.m.queueDepth.Set(0)
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+	}
+	add := func(r *batchReq) {
+		if len(pending) == 0 {
+			timer.Reset(b.cfg.MaxDelay)
+		}
+		pending = append(pending, r)
+		pendingQ += r.nq
+		b.m.queueDepth.Set(float64(pendingQ))
+		if pendingQ >= b.cfg.MaxBatch {
+			flush(true)
+		}
+	}
+	for {
+		select {
+		case r := <-b.reqs:
+			add(r)
+		case <-timer.C:
+			flush(false)
+		case <-b.stop:
+			// Drain whatever already queued, then flush the remainder so no
+			// caller is left blocked.
+			for {
+				select {
+				case r := <-b.reqs:
+					add(r)
+					continue
+				default:
+				}
+				break
+			}
+			flush(false)
+			return
+		}
+	}
+}
+
+// flush evaluates one coalesced batch against a single model Snapshot and
+// scatters the results back to the per-request reply channels.
+func (b *Batcher) flush(pending []*batchReq, total int) {
+	snap := b.handle.Snapshot()
+	set := snap.Set
+	feats := set.Centers.Features()
+	b.m.batches.Inc()
+	b.m.batchSize.Observe(float64(total))
+
+	// Width mismatches (a request validated against a previous generation,
+	// then a reload changed the feature count) fail per-request, never the
+	// whole batch.
+	rows := make([]float64, 0, total*feats)
+	live := pending[:0]
+	liveQ := 0
+	wantDecisions := false
+	for _, r := range pending {
+		if r.width != feats {
+			r.done <- batchOut{err: fmt.Errorf("serve: query width %d, model %q generation %d has %d features",
+				r.width, b.handle.Name, snap.Generation, feats)}
+			continue
+		}
+		rows = append(rows, r.rows...)
+		live = append(live, r)
+		liveQ += r.nq
+		wantDecisions = wantDecisions || r.decisions
+	}
+	if liveQ == 0 {
+		return
+	}
+	q := la.NewDense(liveQ, feats, rows)
+	labels := set.PredictAll(q)
+	var decs []float64
+	if wantDecisions {
+		decs = set.DecisionAll(q)
+	}
+	off := 0
+	for _, r := range live {
+		out := batchOut{
+			labels:     labels[off : off+r.nq : off+r.nq],
+			generation: snap.Generation,
+			batchSize:  liveQ,
+		}
+		if r.decisions {
+			out.decisions = decs[off : off+r.nq : off+r.nq]
+		}
+		off += r.nq
+		r.done <- out
+	}
+}

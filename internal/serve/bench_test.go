@@ -1,0 +1,107 @@
+package serve_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"casvm/internal/compress"
+	"casvm/internal/core"
+	"casvm/internal/data"
+	"casvm/internal/kernel"
+	"casvm/internal/model"
+	"casvm/internal/serve"
+)
+
+// The sustained-load benchmark behind `make bench-serve`: train the
+// face-like dataset, compress it with the golden budget, serve it, and
+// hammer it over real HTTP with the shared load generator. The committed
+// BENCH_serve.json records the resulting preds/s and exact p99 latency;
+// `make bench-diff` gates ns/op (≈ per-request wall time) against it.
+
+var benchFace struct {
+	once sync.Once
+	set  *model.Set
+	err  error
+}
+
+// compressedFaceSet trains + compresses once per benchmark binary; the run
+// is deterministic (seeded solver, seeded compression), so every iteration
+// count serves the identical model.
+func compressedFaceSet(b *testing.B) *model.Set {
+	benchFace.once.Do(func() {
+		ds, entry, err := data.Load("face", 1.0)
+		if err != nil {
+			benchFace.err = err
+			return
+		}
+		p := core.DefaultParams(core.MethodRACA, 8)
+		p.Kernel = kernel.RBF(entry.GammaOrDefault())
+		out, err := core.Train(ds.X, ds.Y, p)
+		if err != nil {
+			benchFace.err = err
+			return
+		}
+		small, _, err := compress.Set(out.Set, compress.Options{
+			Budget: 32, PruneFrac: 0.01, Seed: 7,
+		})
+		if err != nil {
+			benchFace.err = err
+			return
+		}
+		compress.Annotate(small, out.Set, ds.TestX, ds.TestY)
+		benchFace.set = small
+	})
+	if benchFace.err != nil {
+		b.Fatalf("face fixture: %v", benchFace.err)
+	}
+	return benchFace.set
+}
+
+// BenchmarkServeSustained measures the whole serving plane end to end:
+// HTTP decode → micro-batching → tile predict → HTTP encode, at client
+// concurrency 2·GOMAXPROCS with 64-query request blocks. One op is one
+// request, so ns/op is the per-request wall time under sustained load; the
+// extra metrics carry the headline throughput and tail latency.
+func BenchmarkServeSustained(b *testing.B) {
+	set := compressedFaceSet(b)
+	feats := set.Centers.Features()
+
+	s, err := serve.Start("localhost:0", serve.Config{
+		Batch: serve.BatcherConfig{MaxBatch: 512, MaxDelay: time.Millisecond},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.AddModelSet("default", set); err != nil {
+		b.Fatal(err)
+	}
+
+	// Warm connections and the batcher before the timed run.
+	if _, err := serve.RunLoad(serve.LoadOptions{
+		URL: s.URL(), Features: feats, Requests: 64, Seed: 1,
+	}); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	res, err := serve.RunLoad(serve.LoadOptions{
+		URL:               s.URL(),
+		Features:          feats,
+		QueriesPerRequest: 256,
+		Binary:            true,
+		Requests:          int64(b.N),
+		Seed:              2,
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Errors > 0 {
+		b.Fatalf("%d load errors", res.Errors)
+	}
+	b.ReportMetric(res.PredsPerSec, "preds/s")
+	b.ReportMetric(float64(res.P99), "p99-ns")
+	b.ReportMetric(float64(res.P50), "p50-ns")
+}

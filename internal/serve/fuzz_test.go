@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodePredictRequest drives the HTTP decoder with arbitrary bytes.
+// The decoder is the trust boundary of the serving plane: whatever arrives,
+// it must never panic, and anything it accepts must satisfy the invariants
+// the batcher and kernel rely on — non-empty, uniform-width, all-finite
+// rows within the configured limits.
+func FuzzDecodePredictRequest(f *testing.F) {
+	nanB64 := EncodeQueriesB64([]float64{1, math.NaN()})
+	seeds := []string{
+		`{"queries": [[1,2],[3,4]]}`,
+		`{"model": "default", "queries": [[0.5]], "decisions": true}`,
+		`{"queries": []}`,
+		`{"queries": [[1,2],[3]]}`,
+		`{"queries": [[1e999]]}`,
+		`{"queries": [[1,null]]}`,
+		`{"queries": "nope"}`,
+		`{"queries": [[NaN]]}`,
+		`[]`,
+		`{`,
+		``,
+		`{"queries": [[` + strings.Repeat("1,", 100) + `1]]}`,
+		`{"queries_b64": "` + EncodeQueriesB64([]float64{1, 2, 3, 4}) + `", "features": 2}`,
+		`{"queries_b64": "` + nanB64 + `", "features": 2}`,
+		`{"queries_b64": "AAAA", "features": 1}`,
+		`{"queries_b64": "!!!!", "features": 1}`,
+		`{"queries_b64": "", "features": 0}`,
+		`{"queries": [[1]], "queries_b64": "` + nanB64 + `", "features": 2}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	lim := Limits{MaxQueries: 64, MaxFeatures: 128, MaxBody: 1 << 16}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodePredictRequest(data, lim)
+		if err != nil {
+			return // rejected is always acceptable; not panicking is the point
+		}
+		if req.NumQueries() == 0 || req.NumQueries() > lim.MaxQueries {
+			t.Fatalf("accepted %d queries outside (0, %d]", req.NumQueries(), lim.MaxQueries)
+		}
+		width := req.Features()
+		if width < 1 || width > lim.MaxFeatures {
+			t.Fatalf("accepted width %d outside [1, %d]", width, lim.MaxFeatures)
+		}
+		for _, q := range req.Queries {
+			if len(q) != width {
+				t.Fatalf("accepted ragged row: %d vs %d", len(q), width)
+			}
+		}
+		// flatten must agree with the validated shape, with every value
+		// finite regardless of which encoding carried it.
+		flat := req.flatten()
+		if len(flat) != req.NumQueries()*width {
+			t.Fatalf("flatten length %d, want %d", len(flat), req.NumQueries()*width)
+		}
+		for i, v := range flat {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted non-finite value at flat[%d]: %v", i, v)
+			}
+		}
+		// An accepted request must round-trip through encoding (responses
+		// embed request-derived data; nothing unencodable may get this far).
+		if _, err := json.Marshal(req); err != nil {
+			t.Fatalf("accepted request does not re-encode: %v", err)
+		}
+	})
+}

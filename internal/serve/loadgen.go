@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The load generator drives a running server over real HTTP — same JSON
+// encode/decode, same connection handling a production client would pay —
+// so the sustained-throughput numbers in BENCH_serve.json measure the
+// whole serving plane, not just the kernel math. It backs both
+// BenchmarkServeSustained and `casvm-serve -selfbench`.
+
+// LoadOptions configures one sustained-load run.
+type LoadOptions struct {
+	// URL is the server base URL (e.g. from Server.URL()).
+	URL string
+	// Model names the registry entry ("" uses the server's resolution).
+	Model string
+	// Concurrency is the number of client workers (≤ 0 selects
+	// 2·GOMAXPROCS).
+	Concurrency int
+	// QueriesPerRequest is the per-request block size (≤ 0 selects 64) —
+	// how a high-throughput client amortises HTTP/JSON overhead.
+	QueriesPerRequest int
+	// Features is the query vector width (must match the served model).
+	Features int
+	// Requests caps the run at a total request count; when 0 the run is
+	// time-bounded by Duration.
+	Requests int64
+	// Duration bounds a Requests==0 run (≤ 0 selects 3s).
+	Duration time.Duration
+	// Seed makes the generated query blocks reproducible.
+	Seed int64
+	// Binary sends queries_b64 payloads (the production client encoding)
+	// instead of plain JSON arrays.
+	Binary bool
+}
+
+// LoadResult summarises one run.
+type LoadResult struct {
+	Requests int64         `json:"requests"`
+	Queries  int64         `json:"queries"`
+	Errors   int64         `json:"errors"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	// PredsPerSec is the headline sustained prediction throughput.
+	PredsPerSec float64 `json:"preds_per_s"`
+	// P50 and P99 are exact request-latency quantiles over every request
+	// in the run (not histogram estimates).
+	P50 time.Duration `json:"p50_ns"`
+	P99 time.Duration `json:"p99_ns"`
+}
+
+// RunLoad hammers the server with concurrent prediction requests and
+// reports sustained throughput and latency quantiles. Request bodies are
+// pre-marshalled (a handful of distinct blocks per worker, rotated) so the
+// generator measures the server, not client-side JSON encoding.
+func RunLoad(o LoadOptions) (LoadResult, error) {
+	if o.Features <= 0 {
+		return LoadResult{}, fmt.Errorf("serve: load needs Features > 0")
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 2 * runtime.GOMAXPROCS(0)
+	}
+	if o.QueriesPerRequest <= 0 {
+		o.QueriesPerRequest = 64
+	}
+	if o.Requests <= 0 && o.Duration <= 0 {
+		o.Duration = 3 * time.Second
+	}
+
+	// Pre-marshal distinct request bodies; workers rotate through them so
+	// batches are not byte-identical while the hot loop stays allocation-light.
+	const distinct = 8
+	rng := rand.New(rand.NewSource(o.Seed))
+	bodies := make([][]byte, distinct)
+	for i := range bodies {
+		req := PredictRequest{Model: o.Model}
+		block := queryBlock(rng, o.QueriesPerRequest, o.Features)
+		if o.Binary {
+			flat := make([]float64, 0, o.QueriesPerRequest*o.Features)
+			for _, row := range block {
+				flat = append(flat, row...)
+			}
+			req.QueriesB64 = EncodeQueriesB64(flat)
+			req.FeatureDim = o.Features
+		} else {
+			req.Queries = block
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			return LoadResult{}, fmt.Errorf("serve: marshal load body: %w", err)
+		}
+		bodies[i] = b
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        o.Concurrency + 4,
+		MaxIdleConnsPerHost: o.Concurrency + 4,
+	}}
+	defer client.CloseIdleConnections()
+
+	var issued, errors atomic.Int64
+	deadline := time.Now().Add(o.Duration)
+	perWorker := make([][]time.Duration, o.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < o.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, 1024)
+			for it := w; ; it++ {
+				if o.Requests > 0 {
+					if issued.Add(1) > o.Requests {
+						break
+					}
+				} else if time.Now().After(deadline) {
+					break
+				}
+				t0 := time.Now()
+				resp, err := client.Post(o.URL+"/predict", "application/json",
+					bytes.NewReader(bodies[it%distinct]))
+				if err != nil {
+					errors.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errors.Add(1)
+					continue
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			perWorker[w] = lat
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, lat := range perWorker {
+		all = append(all, lat...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res := LoadResult{
+		Requests: int64(len(all)),
+		Queries:  int64(len(all)) * int64(o.QueriesPerRequest),
+		Errors:   errors.Load(),
+		Elapsed:  elapsed,
+	}
+	if elapsed > 0 {
+		res.PredsPerSec = float64(res.Queries) / elapsed.Seconds()
+	}
+	if n := len(all); n > 0 {
+		res.P50 = all[n/2]
+		res.P99 = all[min(n-1, n*99/100)]
+	}
+	if res.Requests == 0 {
+		return res, fmt.Errorf("serve: load run completed zero requests (%d errors)", res.Errors)
+	}
+	return res, nil
+}
+
+func queryBlock(rng *rand.Rand, n, feats int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		row := make([]float64, feats)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		out[i] = row
+	}
+	return out
+}

@@ -181,6 +181,24 @@ func serveJob(w http.ResponseWriter, r *http.Request, cfg Config) {
 // `data:` line per IterSample, JSON-encoded, polled at the configured
 // cadence until the client disconnects or the server closes.
 func serveSSE(w http.ResponseWriter, r *http.Request, ring *smo.TelemetryRing, interval time.Duration) {
+	var cursor uint64
+	StreamSSE(w, r, interval, func() []any {
+		var samples []smo.IterSample
+		samples, cursor = ring.Since(cursor) // nil-safe: always empty
+		out := make([]any, len(samples))
+		for i, s := range samples {
+			out[i] = s
+		}
+		return out
+	})
+}
+
+// StreamSSE writes a server-sent-event response: next is polled at the
+// given cadence and every returned item is JSON-encoded as one `data:`
+// frame, until the client disconnects or a write fails. Other servers
+// (casvm-serve's live QPS stream) reuse it so every SSE surface frames
+// events identically.
+func StreamSSE(w http.ResponseWriter, r *http.Request, interval time.Duration, next func() []any) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
@@ -191,14 +209,12 @@ func serveSSE(w http.ResponseWriter, r *http.Request, ring *smo.TelemetryRing, i
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
 
-	var cursor uint64
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
 	for {
-		var samples []smo.IterSample
-		samples, cursor = ring.Since(cursor) // nil-safe: always empty
-		for _, s := range samples {
-			b, err := json.Marshal(s)
+		events := next()
+		for _, e := range events {
+			b, err := json.Marshal(e)
 			if err != nil {
 				return
 			}
@@ -206,7 +222,7 @@ func serveSSE(w http.ResponseWriter, r *http.Request, ring *smo.TelemetryRing, i
 				return
 			}
 		}
-		if len(samples) > 0 {
+		if len(events) > 0 {
 			fl.Flush()
 		}
 		select {

@@ -116,6 +116,47 @@ func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
 	return bounds, counts
 }
 
+// Quantile estimates the q-th quantile (clamped to [0, 1]) of the observed
+// distribution by linear interpolation inside the containing bucket. The
+// open +Inf bucket reports the highest finite bound (the histogram cannot
+// resolve beyond it). Returns 0 for a nil or empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	var cum int64
+	for i, b := range h.bounds {
+		c := h.counts[i].Load()
+		if float64(cum)+float64(c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if c == 0 {
+				return b
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + frac*(b-lo)
+		}
+		cum += c
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // ExpBuckets returns n exponentially growing bucket bounds starting at
 // start with the given factor — the usual latency-histogram shape.
 func ExpBuckets(start, factor float64, n int) []float64 {

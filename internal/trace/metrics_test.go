@@ -277,3 +277,37 @@ func TestConcurrentMetricUpdates(t *testing.T) {
 		t.Fatalf("lost observations: %d", got)
 	}
 }
+
+// TestHistogramQuantile pins the interpolation rule: a uniform fill of one
+// bucket interpolates linearly, extremes clamp, the +Inf bucket saturates
+// at the highest finite bound, and nil/empty histograms report 0.
+func TestHistogramQuantile(t *testing.T) {
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile")
+	}
+	reg := NewRegistry()
+	h := reg.Histogram("q_seconds", "", []float64{1, 2, 4, 8})
+	if h.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile")
+	}
+	// 100 samples uniformly into the (1, 2] bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); got != 1.5 {
+		t.Fatalf("median %v, want 1.5 (linear interpolation at half the bucket)", got)
+	}
+	if got := h.Quantile(1); got != 2 {
+		t.Fatalf("q=1 %v, want the bucket's upper bound", got)
+	}
+	if got := h.Quantile(-1); got != h.Quantile(0) {
+		t.Fatalf("q<0 not clamped: %v", got)
+	}
+	// An observation beyond every bound lands in +Inf and saturates.
+	h2 := reg.Histogram("q2_seconds", "", []float64{1, 2})
+	h2.Observe(99)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Fatalf("+Inf bucket quantile %v, want highest finite bound 2", got)
+	}
+}
