@@ -20,7 +20,8 @@ race:
 race-matrix:
 	$(GO) test -race -cpu 1,4 ./internal/mpi ./internal/tcpmpi \
 		./internal/faults ./internal/core ./internal/pool ./internal/trace \
-		./internal/cluster ./internal/kernel ./internal/la ./internal/serve
+		./internal/cluster ./internal/kernel ./internal/la ./internal/serve \
+		./internal/telemetry ./internal/telemetry/fleet
 
 # fuzz-smoke runs every fuzz target's seed corpus (no exploration) so the
 # corpora cannot rot; `make fuzz` does the time-boxed exploration.
@@ -55,9 +56,13 @@ soak:
 # soak-cluster churns a live coordinator for ~20s: six concurrent jobs over
 # six workers while a chaos goroutine revokes and re-registers leases every
 # 150ms. Every job must terminate (no hangs), at least half must complete,
-# and completed jobs must still converge to accurate models.
+# and completed jobs must still converge to accurate models. The fleet soak
+# then forks the real 4-process examples/distributed launcher with an
+# injected straggler and asserts the merged fleet trace is produced, parses
+# strictly, and analyzes end-to-end.
 soak-cluster:
 	CASVM_SOAK_CLUSTER=1 $(GO) test -count=1 -timeout 300s -run TestClusterSoak -v ./internal/cluster
+	CASVM_SOAK_CLUSTER=1 $(GO) test -count=1 -timeout 300s -run TestFleetSoak -v ./internal/telemetry/fleet
 
 # bench runs the SMO hot-path benchmark suite at 1 and 4 threads and
 # records ns/op + allocs/op in BENCH_smo.json (via cmd/benchjson).
@@ -133,11 +138,14 @@ fuzz:
 	$(GO) test -run 'Fuzz' -fuzz FuzzDecodePredictRequest -fuzztime 10s ./internal/serve
 
 # cover enforces statement-coverage floors on the packages whose
-# regressions are silent: 70% on the observability/modeling set, 80% on the
+# regressions are silent: 70% on the observability/modeling set, 75% on the
+# fleet telemetry plane (its merge/repair arithmetic fails quietly — a
+# wrong offset still produces a plausible-looking trace), 80% on the
 # inference plane (it fronts production traffic, so its error paths must be
 # exercised, not just its happy path).
 COVER_PKGS = ./internal/trace ./internal/trace/critpath ./internal/perfmodel ./internal/expt \
 	./internal/kernel ./internal/la ./internal/compress
+COVER_PKGS_75 = ./internal/telemetry/fleet
 COVER_PKGS_80 = ./internal/serve
 cover:
 	@for pkg in $(COVER_PKGS); do \
@@ -148,6 +156,14 @@ cover:
 		if ! awk -v p="$$pct" 'BEGIN{exit (p>=70)?0:1}'; then \
 			echo "FAIL: $$pkg coverage $$pct% < 70%"; exit 1; fi; \
 	done
+	@for pkg in $(COVER_PKGS_75); do \
+		out=$$($(GO) test -cover $$pkg | tail -1); \
+		echo "$$out"; \
+		pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "FAIL: no coverage for $$pkg"; exit 1; fi; \
+		if ! awk -v p="$$pct" 'BEGIN{exit (p>=75)?0:1}'; then \
+			echo "FAIL: $$pkg coverage $$pct% < 75%"; exit 1; fi; \
+	done
 	@for pkg in $(COVER_PKGS_80); do \
 		out=$$($(GO) test -cover $$pkg | tail -1); \
 		echo "$$out"; \
@@ -156,4 +172,4 @@ cover:
 		if ! awk -v p="$$pct" 'BEGIN{exit (p>=80)?0:1}'; then \
 			echo "FAIL: $$pkg coverage $$pct% < 80%"; exit 1; fi; \
 	done
-	@echo "coverage floors (70%/80%) passed"
+	@echo "coverage floors (70%/75%/80%) passed"

@@ -19,19 +19,29 @@
 //	casvm-train -cluster localhost:7600 -data ijcnn -method dissmo -p 8
 //
 // The telemetry server namespaces each job: /jobs lists them and
-// /jobs/<id>/{metrics,report,events} serve one job's counters, outcome
-// and live convergence stream; the top-level /metrics carries the
-// cluster_* membership counters (joins, leaves, lease expiries,
-// scale-ups).
+// /jobs/<id>/{metrics,report,events,trace} serve one job's counters,
+// outcome, live convergence stream, and merged fleet trace; the top-level
+// /metrics carries the cluster_* membership counters (joins, leaves,
+// lease expiries, scale-ups) plus the fleet plane's federated fleet_*
+// aggregates and straggler counters, /healthz answers liveness probes
+// with uptime and worker count, and /fleet/events streams straggler
+// verdicts as SSE.
+//
+// Workers stream trace spans, metric snapshots and per-epoch durations
+// over their leases (internal/telemetry/fleet); with -fleet-trace DIR the
+// coordinator also writes each finished job's merged Chrome trace to
+// DIR/<job-id>.trace, ready for casvm-profile or Perfetto.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"time"
 
 	"casvm/internal/cluster"
@@ -41,10 +51,11 @@ import (
 
 func main() {
 	var (
-		listen = flag.String("listen", "localhost:7600", "coordinator registration address (workers and clients dial this)")
-		serve  = flag.String("serve", "", "serve live telemetry on this address: /metrics, /jobs, /jobs/<id>/{metrics,report,events}")
-		ttl    = flag.Duration("lease-ttl", 0, "worker lease TTL; a silent worker is expired after this (0 = 6s default)")
-		join   = flag.String("join", "", "worker mode: register with the coordinator at this address and serve as gang capacity until interrupted")
+		listen     = flag.String("listen", "localhost:7600", "coordinator registration address (workers and clients dial this)")
+		serve      = flag.String("serve", "", "serve live telemetry on this address: /metrics, /healthz, /jobs, /jobs/<id>/{metrics,report,events,trace}, /fleet/events")
+		ttl        = flag.Duration("lease-ttl", 0, "worker lease TTL; a silent worker is expired after this (0 = 6s default)")
+		join       = flag.String("join", "", "worker mode: register with the coordinator at this address and serve as gang capacity until interrupted")
+		fleetTrace = flag.String("fleet-trace", "", "write each finished job's merged fleet trace to this directory as <job-id>.trace")
 	)
 	flag.Parse()
 
@@ -59,11 +70,24 @@ func main() {
 		return
 	}
 
+	if *fleetTrace != "" {
+		if err := os.MkdirAll(*fleetTrace, 0o755); err != nil {
+			log.Fatalf("casvm-cluster: -fleet-trace: %v", err)
+		}
+	}
+	start := time.Now()
 	met := trace.NewRegistry()
+	var coord *cluster.Coordinator
 	coord, err := cluster.New(*listen, cluster.Config{
 		LeaseTTL: *ttl,
 		Metrics:  met,
 		Logf:     log.Printf,
+		OnJobDone: func(j *cluster.Job) {
+			if *fleetTrace == "" {
+				return
+			}
+			writeFleetTrace(coord, j.ID(), *fleetTrace)
+		},
 	})
 	if err != nil {
 		log.Fatalf("casvm-cluster: %v", err)
@@ -76,11 +100,21 @@ func main() {
 			Metrics: met,
 			Report:  func() any { return statusReport(coord) },
 			Jobs:    func() []telemetry.JobNamespace { return jobNamespaces(coord) },
+			Health: func() any {
+				return map[string]any{
+					"status":     "ok",
+					"uptime_sec": time.Since(start).Seconds(),
+					"workers":    len(coord.Workers()),
+				}
+			},
+			Streams: map[string]telemetry.StreamSource{
+				"fleet/events": coord.Fleet().StreamSource(),
+			},
 		})
 		if err != nil {
 			log.Fatalf("casvm-cluster: %v", err)
 		}
-		log.Printf("casvm-cluster: telemetry at http://%s (/metrics /report /jobs)", srv.Addr())
+		log.Printf("casvm-cluster: telemetry at http://%s (/metrics /healthz /report /jobs /fleet/events)", srv.Addr())
 	}
 
 	ch := make(chan os.Signal, 1)
@@ -125,21 +159,51 @@ func statusReport(coord *cluster.Coordinator) any {
 	}
 }
 
-// jobNamespaces exposes each job's private metrics registry, result and
-// convergence ring under /jobs/<id>/.
+// jobNamespaces exposes each job's private metrics registry, result,
+// convergence ring and (once workers have shipped spans) merged fleet
+// trace under /jobs/<id>/.
 func jobNamespaces(coord *cluster.Coordinator) []telemetry.JobNamespace {
+	fl := coord.Fleet()
 	var out []telemetry.JobNamespace
 	for _, j := range coord.Jobs() {
 		j := j
-		out = append(out, telemetry.JobNamespace{
+		ns := telemetry.JobNamespace{
 			ID:      j.ID(),
 			State:   j.State().String(),
 			Metrics: j.Metrics(),
 			Ring:    j.Ring(),
 			Report:  func() any { return j.Result() },
-		})
+		}
+		if fl.HasTrace(j.ID()) {
+			ns.Trace = func(w io.Writer) error { return fl.WriteMergedTrace(j.ID(), w) }
+		}
+		out = append(out, ns)
 	}
 	return out
+}
+
+// writeFleetTrace persists one finished job's merged trace (a no-op when
+// its workers shipped no spans).
+func writeFleetTrace(coord *cluster.Coordinator, jobID, dir string) {
+	fl := coord.Fleet()
+	if !fl.HasTrace(jobID) {
+		return
+	}
+	path := filepath.Join(dir, jobID+".trace")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("casvm-cluster: fleet trace for %s: %v", jobID, err)
+		return
+	}
+	err = fl.WriteMergedTrace(jobID, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Printf("casvm-cluster: fleet trace for %s: %v", jobID, err)
+		return
+	}
+	log.Printf("casvm-cluster: merged fleet trace for %s written to %s", jobID, path)
 }
 
 func init() {

@@ -16,6 +16,14 @@
 // factors (tc, ts, tw; a trailing "x" is optional): the recorded DAG is
 // re-simulated under the scaled α–β model, answering "what would this
 // exact run have cost on that machine" without re-running it.
+//
+// Merged fleet traces (written by casvm-cluster -fleet-trace or the
+// examples/distributed launcher) analyze the same way. Their timebase is
+// "wall": spans were rebased from per-worker clocks onto the
+// coordinator's timeline using probed clock offsets, which are printed
+// per rank. Wall time cannot split a transfer into α and β, so edge cost
+// is carried entirely as latency there and a tw re-cost is a no-op —
+// re-cost ts to scale transfers instead.
 package main
 
 import (
@@ -74,6 +82,12 @@ func main() {
 
 	if *asJSON {
 		out := map[string]any{"analysis": a, "top_steps": a.TopSteps(*top)}
+		if extra.Timebase != "" {
+			out["timebase"] = extra.Timebase
+		}
+		if len(extra.ClockOffsetsNs) > 0 {
+			out["clock_offsets_ns"] = extra.ClockOffsetsNs
+		}
 		if what != nil {
 			out["what_if"] = map[string]any{"factors": factors, "analysis": what}
 		}
@@ -86,10 +100,23 @@ func main() {
 	}
 
 	fmt.Printf("trace: %s  (P=%d", flag.Arg(0), extra.P)
+	if extra.Timebase != "" {
+		fmt.Printf(", timebase=%s", extra.Timebase)
+	}
 	if extra.CausalityViolations > 0 {
 		fmt.Printf(", CAUSALITY VIOLATIONS=%d", extra.CausalityViolations)
 	}
 	fmt.Println(")")
+	if extra.Timebase == trace.TimebaseWall {
+		if len(extra.ClockOffsetsNs) > 0 {
+			fmt.Print("  clock offsets (ns, subtracted per rank):")
+			for r, off := range extra.ClockOffsetsNs {
+				fmt.Printf("  %d:%d", r, off)
+			}
+			fmt.Println()
+		}
+		fmt.Println("  note: wall timebase — transfer cost is all latency; bandwidth is not separable (a tw re-cost is a no-op, scale ts instead)")
+	}
 	printAnalysis("critical path", a)
 	if *top > 0 && len(a.Path()) > 0 {
 		fmt.Printf("\ntop %d attributions:\n", *top)

@@ -35,6 +35,22 @@
 // (faults.Schedule.JitterFunc), so a replayed crash scenario reproduces the
 // same re-dial timing instead of drawing from the global RNG.
 //
+// Fleet telemetry — every worker streams its trace spans, flow edges and
+// metrics to the launcher over its registration lease; the launcher probes
+// each lease's clock offset, rebases the spans onto one timeline, and
+// writes a single merged Chrome trace (cross-process Perfetto arrows
+// included) that casvm-profile analyzes end-to-end:
+//
+//	go run ./examples/distributed -launch -p 4 -fleet-trace merged.trace
+//	go run ./cmd/casvm-profile merged.trace
+//
+// Straggler demo — slow one rank with an injected delay (driven through
+// the internal/faults machinery) and watch the launcher's online detector
+// flag it against the gang median:
+//
+//	go run ./examples/distributed -launch -p 4 -fleet-trace merged.trace \
+//	    -straggle-rank 2 -straggle-sec 2s
+//
 // Or place workers by hand (possibly on different hosts):
 //
 //	go run ./examples/distributed -rank 0 -peers host0:7070,host1:7071
@@ -58,7 +74,13 @@ import (
 	"casvm/internal/faults"
 	"casvm/internal/model"
 	"casvm/internal/tcpmpi"
+	"casvm/internal/telemetry/fleet"
+	"casvm/internal/trace"
+	"casvm/internal/trace/critpath"
 )
+
+// fleetJob names the telemetry stream every worker reports under.
+const fleetJob = "distributed"
 
 // Control tags: tagModel gathers model files at rank 0 over the mesh;
 // tagMeshAddr and tagMeshPeers run rank discovery over registration leases.
@@ -82,6 +104,12 @@ func main() {
 		dieAfter  = flag.Duration("die-after", 0, "crash this worker before the model gather (worker mode)")
 		dieIfRank = flag.Int("die-if-rank", -1, "crash only if discovery assigned this rank (worker mode; pairs with -die-after)")
 		rejoin    = flag.Bool("rejoin", false, "this worker is a respawned incarnation: dial only rank 0 (worker mode)")
+
+		fleetTrace   = flag.String("fleet-trace", "", "with -launch: collect every worker's telemetry over its lease and write one merged Chrome trace here")
+		straggleRank = flag.Int("straggle-rank", -1, "with -launch: inject a training delay into this rank so the straggler detector flags it")
+		straggleSec  = flag.Duration("straggle-sec", 2*time.Second, "how long the straggling rank is delayed (with -straggle-rank)")
+		fleetOn      = flag.Bool("fleet", false, "worker mode: stream trace spans and metrics to the registrar over the lease")
+		stragIfRank  = flag.Int("straggle-if-rank", -1, "worker mode: straggle only if discovery assigned this rank")
 	)
 	flag.Parse()
 
@@ -90,20 +118,32 @@ func main() {
 	}
 	switch {
 	case *launch:
-		launchWorkers(*p, *killRank, *killAfter, *policy, *chaosSeed)
+		launchWorkers(launchOpts{
+			p: *p, killRank: *killRank, killAfter: *killAfter, policy: *policy,
+			chaosSeed: *chaosSeed, fleetTrace: *fleetTrace,
+			straggleRank: *straggleRank, straggleSec: *straggleSec,
+		})
 	case *coord != "":
 		r, addrs, lease, err := discoverWorld(*coord)
 		if err != nil {
 			log.Fatalf("discovery: %v", err)
 		}
 		defer lease.Close()
-		die := *dieAfter
-		if *dieIfRank >= 0 && r != *dieIfRank {
-			die = 0
+		o := workerOpts{
+			dieAfter: *dieAfter, policy: *policy, rejoin: *rejoin,
+			chaosSeed: *chaosSeed, lease: lease, fleet: *fleetOn,
 		}
-		runWorker(r, addrs, die, *policy, *rejoin, *chaosSeed)
+		if *dieIfRank >= 0 && r != *dieIfRank {
+			o.dieAfter = 0
+		}
+		if *stragIfRank >= 0 && r == *stragIfRank {
+			o.straggleSec = *straggleSec
+		}
+		runWorker(r, addrs, o)
 	case *rank >= 0 && *peers != "":
-		runWorker(*rank, strings.Split(*peers, ","), *dieAfter, *policy, *rejoin, *chaosSeed)
+		runWorker(*rank, strings.Split(*peers, ","), workerOpts{
+			dieAfter: *dieAfter, policy: *policy, rejoin: *rejoin, chaosSeed: *chaosSeed,
+		})
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -191,20 +231,51 @@ func (d *meshDirectory) onFrame(w tcpmpi.WorkerInfo, tag int, payload []byte) {
 	d.ready <- peers
 }
 
+// launchOpts bundles the launcher's scenario knobs.
+type launchOpts struct {
+	p            int
+	killRank     int
+	killAfter    time.Duration
+	policy       string
+	chaosSeed    int64
+	fleetTrace   string // merged-trace output path ("" = fleet plane off)
+	straggleRank int
+	straggleSec  time.Duration
+}
+
 // launchWorkers starts the discovery registrar, forks one worker per rank
 // knowing only the registrar's address, and streams their output. Ranks
 // are assigned by check-in order, so a planned kill targets "whichever
 // worker became rank killRank" via -die-if-rank. Under the respawn policy
 // the launcher is also the supervisor: it reforks the dead rank as a fresh
 // incarnation that rejoins through rank 0 using the discovered peer table.
-func launchWorkers(p, killRank int, killAfter time.Duration, policy string, chaosSeed int64) {
+// With fleetTrace set the launcher is also the telemetry coordinator: a
+// fleet.Collector rides the same registrar, probes each worker's clock
+// over its lease, and writes the merged trace once every rank checks out.
+func launchWorkers(lo launchOpts) {
+	p, killRank, killAfter, policy, chaosSeed :=
+		lo.p, lo.killRank, lo.killAfter, lo.policy, lo.chaosSeed
 	start := time.Now()
 	stamp := func(format string, a ...any) {
 		fmt.Printf("[%6.2fs] "+format+"\n", append([]any{time.Since(start).Seconds()}, a...)...)
 	}
+	var col *fleet.Collector
+	if lo.fleetTrace != "" {
+		// MinSec drops below the default floor because the toy shards
+		// train in well under a millisecond.
+		col = fleet.New(fleet.Config{
+			Metrics:   trace.NewRegistry(),
+			Straggler: fleet.StragglerConfig{MinSec: 1e-6},
+		})
+	}
 	dir := &meshDirectory{p: p, addrs: map[int]string{}, ready: make(chan []string, 1)}
 	reg, err := tcpmpi.NewRegistrar("127.0.0.1:0", tcpmpi.RegistrarConfig{
-		OnFrame: dir.onFrame,
+		OnFrame: func(w tcpmpi.WorkerInfo, tag int, payload []byte) {
+			if col != nil && col.HandleFrame(w, tag, payload) {
+				return
+			}
+			dir.onFrame(w, tag, payload)
+		},
 		OnExpire: func(w tcpmpi.WorkerInfo) {
 			stamp("registrar: lease %d expired (worker death detected by silence)", w.ID)
 		},
@@ -214,9 +285,15 @@ func launchWorkers(p, killRank int, killAfter time.Duration, policy string, chao
 	}
 	defer reg.Close()
 	dir.reg = reg
+	if col != nil {
+		col.AttachRegistrar(reg)
+	}
 	fmt.Printf("launching %d workers against registrar %s (no static peer table)\n", p, reg.Addr())
 	if killRank >= 0 {
 		stamp("rank %d will be killed after %v (recovery policy: %s)", killRank, killAfter, policy)
+	}
+	if lo.straggleRank >= 0 {
+		stamp("rank %d will straggle by %v (injected training delay)", lo.straggleRank, lo.straggleSec)
 	}
 
 	type exit struct {
@@ -229,10 +306,16 @@ func launchWorkers(p, killRank int, killAfter time.Duration, policy string, chao
 	if chaosSeed != 0 {
 		common = append(common, "-chaos-seed", fmt.Sprint(chaosSeed))
 	}
+	if lo.fleetTrace != "" {
+		common = append(common, "-fleet")
+	}
 	spawnFresh := func(slot int) {
 		args := append([]string{"-coordinator", reg.Addr()}, common...)
 		if killRank >= 0 {
 			args = append(args, "-die-if-rank", fmt.Sprint(killRank), "-die-after", killAfter.String())
+		}
+		if lo.straggleRank >= 0 {
+			args = append(args, "-straggle-if-rank", fmt.Sprint(lo.straggleRank), "-straggle-sec", lo.straggleSec.String())
 		}
 		var out bytes.Buffer
 		cmd := exec.Command(os.Args[0], args...)
@@ -294,9 +377,68 @@ func launchWorkers(p, killRank int, killAfter time.Duration, policy string, chao
 		remaining--
 	}
 	stamp("all workers accounted for")
+	if col != nil {
+		if err := writeMergedTrace(col, lo, stamp); err != nil {
+			stamp("fleet trace: %v", err)
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeMergedTrace waits for every rank's telemetry stream to complete,
+// writes the offset-rebased merged Chrome trace, prints any straggler
+// verdicts, and summarizes the cross-process critical path inline.
+func writeMergedTrace(col *fleet.Collector, lo launchOpts, stamp func(string, ...any)) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for !col.StreamComplete(fleetJob) {
+		if time.Now().After(deadline) {
+			// A killed rank never checks out; merge whatever arrived.
+			stamp("fleet: not every rank checked out; merging what arrived")
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	f, err := os.Create(lo.fleetTrace)
+	if err != nil {
+		return err
+	}
+	err = col.WriteMergedTrace(fleetJob, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	stamp("fleet: merged trace written to %s (open in Perfetto or run casvm-profile on it)", lo.fleetTrace)
+
+	if events, _ := col.Events(0); len(events) > 0 {
+		for _, e := range events {
+			stamp("fleet: STRAGGLER rank %d epoch %d: %.3fs vs gang median %.3fs (%.1fx)",
+				e.Rank, e.Epoch, e.Sec, e.MedianSec, e.Factor)
+		}
+	} else if lo.straggleRank >= 0 {
+		stamp("fleet: no straggler flagged (unexpected — a %v delay was injected)", lo.straggleSec)
+	}
+
+	rf, err := os.Open(lo.fleetTrace)
+	if err != nil {
+		return err
+	}
+	extra, err := trace.ReadTraceExtra(rf)
+	rf.Close()
+	if err != nil {
+		return fmt.Errorf("re-reading merged trace: %w", err)
+	}
+	a, err := critpath.Analyze(critpath.FromExtra(extra))
+	if err != nil {
+		return fmt.Errorf("analyzing merged trace: %w", err)
+	}
+	stamp("fleet: critical path %.3fs ending on rank %d (%d cross-rank hops): comp %.3fs, latency %.3fs, wait %.3fs",
+		a.MakespanSec, a.EndRank, a.Hops, a.CompSec, a.LatencySec, a.WaitSec)
+	return nil
 }
 
 // shardRows returns the deterministic row range of rank r's resident shard
@@ -337,15 +479,53 @@ func trainShard(ds *casvm.Dataset, entry casvm.DatasetEntry, r, p int) ([]byte, 
 	return buf.Bytes(), out.Stats, nil
 }
 
+// workerOpts bundles one worker's scenario knobs. lease is the discovery
+// lease (nil in static mode); fleet telemetry needs it as its transport.
+type workerOpts struct {
+	dieAfter    time.Duration
+	policy      string
+	rejoin      bool
+	chaosSeed   int64
+	lease       *tcpmpi.Lease
+	fleet       bool
+	straggleSec time.Duration // > 0: delay training by this much
+}
+
 // runWorker is one rank: local shard → local training → model gather. A
 // non-zero dieAfter crashes the worker before it ships its model,
 // simulating a mid-run node death. A rejoining worker is a respawned
 // incarnation: it dials only rank 0 (tcpmpi Options.Peers) instead of
 // paying the full-mesh handshake, and its fresh-incarnation hello
-// resurrects the connection rank 0 had given up on.
-func runWorker(rank int, addrs []string, dieAfter time.Duration, policy string, rejoin bool, chaosSeed int64) {
+// resurrects the connection rank 0 had given up on. With fleet telemetry
+// on, the worker records its run on a local timeline (training span via
+// the recorder, cross-process flow edges via Options.Timeline) and ships
+// it to the launcher over the lease before exiting.
+func runWorker(rank int, addrs []string, o workerOpts) {
 	start := time.Now()
 	p := len(addrs)
+	dieAfter, policy, rejoin, chaosSeed := o.dieAfter, o.policy, o.rejoin, o.chaosSeed
+
+	var tl *trace.Timeline
+	var rep *fleet.Reporter
+	if o.fleet && o.lease != nil {
+		r, err := fleet.NewReporter(o.lease, fleetJob, rank, p)
+		if err != nil {
+			fmt.Printf("rank %d: fleet hello failed (%v); telemetry off\n", rank, err)
+		} else {
+			rep = r
+			tl = trace.NewTimeline(p)
+		}
+	}
+	defer func() {
+		if rep == nil {
+			return
+		}
+		if err := rep.ShipTimeline(tl, 10*time.Second); err != nil {
+			fmt.Printf("rank %d: fleet ship failed: %v\n", rank, err)
+			return
+		}
+		_ = rep.Goodbye()
+	}()
 	// Short heartbeats and a small reconnect budget so a dead peer is
 	// detected (and, failing a re-dial, declared dead) in a few seconds
 	// rather than the production default.
@@ -363,6 +543,7 @@ func runWorker(rank int, addrs []string, dieAfter time.Duration, policy string, 
 	if rejoin && rank != 0 {
 		opt.Peers = []int{0}
 	}
+	opt.Timeline = tl // nil-safe: no recording without fleet telemetry
 	comm, err := tcpmpi.DialOptions(rank, addrs, opt)
 	if err != nil {
 		log.Fatal(err)
@@ -379,9 +560,33 @@ func runWorker(rank int, addrs []string, dieAfter time.Duration, policy string, 
 	if err != nil {
 		log.Fatal(err)
 	}
+	trainStart := time.Now()
 	raw, st, err := trainShard(ds, entry, rank, p)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if o.straggleSec > 0 {
+		// The injected slowdown rides the faults machinery: a DelayProb=1
+		// plan yields a deterministic delay verdict, realized here as wall
+		// time inside the training span so the detector sees it.
+		inj := faults.New(faults.Plan{Seed: chaosSeed, DelayProb: 1, DelaySec: o.straggleSec.Seconds()})
+		v := inj.Intercept(rank, rank, 0, nil)
+		fmt.Printf("rank %d: straggling — injected %.2gs training delay\n", rank, v.DelaySec)
+		time.Sleep(time.Duration(v.DelaySec * float64(time.Second)))
+	}
+	trainDur := time.Since(trainStart)
+	if tl != nil {
+		tl.Rank(rank).AddEvent(trace.Event{
+			Name: "train-shard", Cat: trace.CatSolver,
+			WallStartNs: trainStart.UnixNano(), WallDurNs: trainDur.Nanoseconds(),
+		})
+	}
+	if rep != nil {
+		_ = rep.ReportEpoch(0, trainDur)
+		mreg := trace.NewRegistry()
+		mreg.Counter("casvm_shard_iterations_total", "local-shard training iterations").Add(int64(st.Iters))
+		mreg.Counter("casvm_shard_svs_total", "support vectors in the local shard model").Add(int64(st.SVs))
+		_ = rep.ShipMetrics(mreg)
 	}
 	fmt.Printf("rank %d: trained on %d samples, %d SVs, %d iterations\n",
 		rank, len(shardRows(ds.M(), p, rank)), st.SVs, st.Iters)

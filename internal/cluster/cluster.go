@@ -15,9 +15,12 @@
 // scale-up at the next checkpoint epoch boundary. Shrink, grow and respawn
 // all converge to the fault-free ModelHash for Dis-SMO.
 //
-// The package deliberately does not import internal/telemetry: the
-// coordinator exposes per-job metrics registries and telemetry rings, and
-// the casvm-cluster command wires them into an HTTP server.
+// The package deliberately does not import the HTTP telemetry server: the
+// coordinator exposes per-job metrics registries, telemetry rings, and the
+// fleet telemetry collector (trace spans, federated metrics, and straggler
+// events streamed in from workers over their leases — see
+// internal/telemetry/fleet), and the casvm-cluster command wires them into
+// an HTTP server.
 package cluster
 
 import (
@@ -28,6 +31,7 @@ import (
 	"casvm/internal/core"
 	"casvm/internal/smo"
 	"casvm/internal/tcpmpi"
+	"casvm/internal/telemetry/fleet"
 	"casvm/internal/trace"
 )
 
@@ -41,6 +45,16 @@ type Config struct {
 	// (nil = a private registry, available via Coordinator.Metrics).
 	Metrics *trace.Registry
 
+	// Straggler tunes the fleet telemetry plane's online straggler
+	// detector (zero value = defaults).
+	Straggler fleet.StragglerConfig
+
+	// OnJobDone, when non-nil, is invoked (on the job's goroutine, after
+	// its result is published and its workers released) for every job
+	// that finishes — the hook casvm-cluster uses to persist merged
+	// fleet traces.
+	OnJobDone func(*Job)
+
 	// Logf, when non-nil, receives one line per membership and job
 	// lifecycle event.
 	Logf func(format string, args ...any)
@@ -50,9 +64,11 @@ type Config struct {
 // schedules submitted jobs onto gangs of free workers, and converts lease
 // churn into recovery and scale-up actions on the jobs it supervises.
 type Coordinator struct {
-	reg  *tcpmpi.Registrar
-	met  *trace.Registry
-	logf func(string, ...any)
+	reg       *tcpmpi.Registrar
+	met       *trace.Registry
+	fleet     *fleet.Collector
+	onJobDone func(*Job)
+	logf      func(string, ...any)
 
 	// membership and job counters (satellite: lease-expiry/join/leave
 	// visibility in the Prometheus registry)
@@ -103,7 +119,24 @@ func New(addr string, cfg Config) (*Coordinator, error) {
 		gBusy:      met.Gauge("cluster_workers_busy", "workers assigned to running jobs"),
 		gRunning:   met.Gauge("cluster_jobs_running", "jobs currently training"),
 		gQueued:    met.Gauge("cluster_jobs_queued", "jobs waiting for a gang of free workers"),
+
+		onJobDone: cfg.OnJobDone,
 	}
+	// The fleet collector must exist before the registrar: a worker's
+	// hello can arrive the instant the listener is up.
+	c.fleet = fleet.New(fleet.Config{
+		Metrics:   met,
+		Straggler: cfg.Straggler,
+		Logf:      logf,
+		JobRegistry: func(job string) *trace.Registry {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			if j := c.byID[job]; j != nil {
+				return j.metrics
+			}
+			return nil
+		},
+	})
 	reg, err := tcpmpi.NewRegistrar(addr, tcpmpi.RegistrarConfig{
 		LeaseTTL: cfg.LeaseTTL,
 		OnJoin:   c.onJoin,
@@ -115,6 +148,7 @@ func New(addr string, cfg Config) (*Coordinator, error) {
 		return nil, err
 	}
 	c.reg = reg
+	c.fleet.AttachRegistrar(reg)
 	return c, nil
 }
 
@@ -123,6 +157,11 @@ func (c *Coordinator) Addr() string { return c.reg.Addr() }
 
 // Metrics is the registry holding the cluster_* counters.
 func (c *Coordinator) Metrics() *trace.Registry { return c.met }
+
+// Fleet is the telemetry collector behind the coordinator's leases:
+// workers stream trace spans, metric snapshots and epoch durations to it,
+// and it serves merged traces, federated aggregates and straggler events.
+func (c *Coordinator) Fleet() *fleet.Collector { return c.fleet }
 
 // Close stops accepting registrations, fails every queued job, and waits
 // for running jobs to finish. Worker leases end when the registrar closes.
@@ -368,6 +407,9 @@ func (c *Coordinator) finishJob(j *Job, res *JobResult) {
 	close(j.done)
 	c.schedule()
 	c.mu.Unlock()
+	if c.onJobDone != nil {
+		c.onJobDone(j)
+	}
 }
 
 func datasetName(s JobSpec) string {

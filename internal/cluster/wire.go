@@ -18,9 +18,13 @@ const (
 	tagResult = 102 // coordinator -> client: JSON JobResult
 )
 
-// onFrame handles control frames from lease holders. Workers have no
-// control traffic today; clients submit jobs.
+// onFrame handles control frames from lease holders: clients submit jobs,
+// and workers stream fleet telemetry (spans, metrics, epoch reports) in
+// the 120–129 tag block.
 func (c *Coordinator) onFrame(w tcpmpi.WorkerInfo, tag int, payload []byte) {
+	if c.fleet.HandleFrame(w, tag, payload) {
+		return
+	}
 	if tag != tagSubmit {
 		c.logf("cluster: ignoring frame tag %d from lease %d", tag, w.ID)
 		return

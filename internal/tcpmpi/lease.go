@@ -21,6 +21,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -69,6 +70,11 @@ func (cfg RegistrarConfig) withDefaults() RegistrarConfig {
 type lease struct {
 	info WorkerInfo
 	conn net.Conn
+
+	// pongs carries clock-probe replies from the frame loop to ProbeClock.
+	// Buffered so a pong arriving after a probe timed out never blocks the
+	// frame loop; ProbeClock discards stale entries by probe id.
+	pongs chan []byte
 
 	mu       sync.Mutex
 	lastSeen time.Time
@@ -243,6 +249,7 @@ func (r *Registrar) register(conn net.Conn) {
 	l := &lease{
 		info: WorkerInfo{ID: id, Addr: conn.RemoteAddr().String(), Client: h.flags&helloClient != 0},
 		conn: conn, lastSeen: time.Now(),
+		pongs: make(chan []byte, 8),
 	}
 	r.leases[id] = l
 	r.mu.Unlock()
@@ -283,6 +290,21 @@ func (r *Registrar) frameLoop(l *lease) {
 		if tag == hbTag {
 			continue
 		}
+		if tag == pingTag {
+			// Answer a worker-initiated probe inline: t2 is now, t3 is
+			// stamped at encode time inside makePong.
+			if len(payload) == pingLen {
+				_ = writeLeaseFrame(l.conn, pongTag, makePong(payload, time.Now().UnixNano()), r.cfg.LeaseTTL)
+			}
+			continue
+		}
+		if tag == pongTag {
+			select {
+			case l.pongs <- payload:
+			default: // probe gave up; drop rather than block the frame loop
+			}
+			continue
+		}
 		if r.cfg.OnFrame != nil {
 			r.cfg.OnFrame(l.info, tag, payload)
 		}
@@ -320,6 +342,126 @@ func (r *Registrar) expiryLoop() {
 			}
 		}
 	}
+}
+
+// Clock-probe frames. The fleet telemetry plane needs per-worker clock
+// offsets to rebase wall-clock spans onto the coordinator's timeline; the
+// probe is the classic NTP exchange run over the lease connection itself,
+// so it measures exactly the path the traced frames travel.
+//
+//	coordinator t1 --ping--> worker t2 (recv) .. t3 (send) --pong--> t4
+//	offset = ((t2-t1)+(t3-t4))/2   rtt = (t4-t1)-(t3-t2)
+//
+// Both read loops answer pings inline — before any queueing or callback —
+// so scheduling delay on the answering side stays inside the (t3−t2)
+// correction instead of inflating the RTT. Like heartbeats, probe frames
+// renew the lease but are invisible to OnFrame/Recv.
+const (
+	pingTag = hbTag + 1
+	pongTag = hbTag + 2
+
+	pingLen = 16 // probeID u64 | t1 i64
+	pongLen = 32 // probeID u64 | t1 i64 | t2 i64 | t3 i64
+)
+
+func putPing(b []byte, probeID uint64, t1 int64) {
+	binary.LittleEndian.PutUint64(b[0:8], probeID)
+	binary.LittleEndian.PutUint64(b[8:16], uint64(t1))
+}
+
+// makePong builds a pong payload from a ping, stamping the receive time t2
+// and (at encode time) the send time t3.
+func makePong(ping []byte, t2 int64) []byte {
+	b := make([]byte, pongLen)
+	copy(b[0:16], ping[0:16]) // probeID, t1 echoed back
+	binary.LittleEndian.PutUint64(b[16:24], uint64(t2))
+	binary.LittleEndian.PutUint64(b[24:32], uint64(time.Now().UnixNano()))
+	return b
+}
+
+func parsePong(b []byte) (probeID uint64, t1, t2, t3 int64, ok bool) {
+	if len(b) != pongLen {
+		return 0, 0, 0, 0, false
+	}
+	return binary.LittleEndian.Uint64(b[0:8]),
+		int64(binary.LittleEndian.Uint64(b[8:16])),
+		int64(binary.LittleEndian.Uint64(b[16:24])),
+		int64(binary.LittleEndian.Uint64(b[24:32])),
+		true
+}
+
+// ClockEstimate is the result of a ProbeClock exchange: the remote clock
+// minus the local clock (positive = remote runs ahead), taken from the
+// minimum-RTT sample of the burst — the sample least polluted by queueing.
+type ClockEstimate struct {
+	OffsetNs int64 // remote − local, nanoseconds
+	RTTNs    int64 // round-trip time of the winning sample
+	Samples  int   // how many pings were answered
+}
+
+// probeSeq allocates globally unique probe ids so interleaved probes (or a
+// stale pong from a timed-out burst) can never satisfy the wrong waiter.
+var probeSeq atomic.Uint64
+
+// ProbeClock estimates worker id's clock offset with a burst of n pings
+// (min 1) over the lease connection, keeping the minimum-RTT sample.
+// Probes of one worker must not run concurrently — their pongs would
+// interleave; run bursts sequentially (the fleet collector does).
+func (r *Registrar) ProbeClock(id, n int, timeout time.Duration) (ClockEstimate, error) {
+	if n < 1 {
+		n = 1
+	}
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	r.mu.Lock()
+	l, ok := r.leases[id]
+	r.mu.Unlock()
+	if !ok {
+		return ClockEstimate{}, fmt.Errorf("tcpmpi: no lease %d", id)
+	}
+	deadline := time.Now().Add(timeout)
+	est := ClockEstimate{RTTNs: 1<<63 - 1}
+	for i := 0; i < n; i++ {
+		probeID := probeSeq.Add(1)
+		var ping [pingLen]byte
+		t1 := time.Now().UnixNano()
+		putPing(ping[:], probeID, t1)
+		if err := writeLeaseFrame(l.conn, pingTag, ping[:], time.Until(deadline)); err != nil {
+			break
+		}
+	await:
+		for {
+			var pong []byte
+			select {
+			case pong = <-l.pongs:
+			case <-time.After(time.Until(deadline)):
+				break await
+			}
+			t4 := time.Now().UnixNano()
+			id2, pt1, t2, t3, ok := parsePong(pong)
+			if !ok || id2 != probeID || pt1 != t1 {
+				continue // stale pong from an earlier burst
+			}
+			rtt := (t4 - t1) - (t3 - t2)
+			if rtt < 0 {
+				rtt = 0
+			}
+			if rtt <= est.RTTNs {
+				est.RTTNs = rtt
+				est.OffsetNs = ((t2 - t1) + (t3 - t4)) / 2
+			}
+			est.Samples++
+			break
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+	}
+	if est.Samples == 0 {
+		return ClockEstimate{}, fmt.Errorf("tcpmpi: clock probe of lease %d: no pongs within %v", id, timeout)
+	}
+	return est, nil
 }
 
 // putLeaseReply encodes the registration reply (the mesh reply's 8-byte
@@ -528,6 +670,18 @@ func (l *Lease) readLoop() {
 			return
 		}
 		if tag == hbTag {
+			continue
+		}
+		if tag == pingTag {
+			// Answer the coordinator's clock probe immediately, before any
+			// queueing, so only the (t3−t2)-corrected turnaround is left in
+			// the RTT. The write shares l.mu with Send/heartbeats.
+			if len(payload) == pingLen {
+				t2 := time.Now().UnixNano()
+				l.mu.Lock()
+				_ = writeLeaseFrame(l.conn, pongTag, makePong(payload, t2), l.ttl)
+				l.mu.Unlock()
+			}
 			continue
 		}
 		l.mu.Lock()

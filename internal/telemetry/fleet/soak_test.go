@@ -1,0 +1,80 @@
+package fleet
+
+import (
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"casvm/internal/trace"
+	"casvm/internal/trace/critpath"
+)
+
+// TestFleetSoak is the full-stack fleet acceptance run, gated behind
+// CASVM_SOAK_CLUSTER=1 (`make soak-cluster`): it forks the real
+// examples/distributed launcher — four OS processes, lease discovery,
+// clock probes over loopback, an injected 1s straggler — and asserts the
+// merged trace it writes parses strictly, satisfies causality on every
+// cross-process edge, and analyzes end-to-end with a telescoping
+// critical-path decomposition.
+func TestFleetSoak(t *testing.T) {
+	if os.Getenv("CASVM_SOAK_CLUSTER") != "1" {
+		t.Skip("set CASVM_SOAK_CLUSTER=1 (or `make soak-cluster`) to run the multi-process fleet soak")
+	}
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(t.TempDir(), "merged.trace")
+	cmd := exec.Command("go", "run", "./examples/distributed",
+		"-launch", "-p", "4", "-fleet-trace", tracePath,
+		"-straggle-rank", "2", "-straggle-sec", "1s")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("launcher failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "STRAGGLER rank 2") {
+		t.Fatalf("straggler verdict missing from launcher output:\n%s", out)
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	x, err := trace.ReadTraceExtra(f)
+	if err != nil {
+		t.Fatalf("merged trace does not parse strictly: %v", err)
+	}
+	if x.P != 4 {
+		t.Fatalf("merged trace P = %d, want 4", x.P)
+	}
+	if x.Timebase != trace.TimebaseWall {
+		t.Fatalf("timebase %q, want %q", x.Timebase, trace.TimebaseWall)
+	}
+	if len(x.ClockOffsetsNs) != 4 {
+		t.Fatalf("clock offsets %v, want 4 entries", x.ClockOffsetsNs)
+	}
+	if len(x.Edges) == 0 {
+		t.Fatal("merged trace has no cross-process flow edges")
+	}
+	for _, e := range x.Edges {
+		if e.RecvVirtSec < e.SendVirtSec || e.RecvWallNs < e.SendWallNs {
+			t.Fatalf("causality violated after rebase: %+v", e)
+		}
+	}
+	a, err := critpath.Analyze(critpath.FromExtra(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The injected 1s delay dominates the makespan.
+	if a.MakespanSec < 0.9 {
+		t.Fatalf("makespan %.3fs, want ≥ 0.9s (straggler not on the path?)", a.MakespanSec)
+	}
+	if diff := math.Abs(a.Sum() - a.MakespanSec); diff > 1e-9*a.MakespanSec {
+		t.Fatalf("decomposition %.9fs != makespan %.9fs", a.Sum(), a.MakespanSec)
+	}
+}

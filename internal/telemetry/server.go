@@ -2,13 +2,18 @@
 // flag of casvm-train and casvm-bench. It exposes, over plain HTTP:
 //
 //	/metrics       — the trace.Registry in Prometheus text format
+//	/healthz       — a liveness document from the caller's health func
 //	/debug/pprof/* — the standard Go profiling endpoints
 //	/report        — a live JSON snapshot from the caller's report func
 //	/events        — an SSE stream of per-iteration solver telemetry
 //	                 (smo.TelemetryRing samples as JSON `data:` frames)
 //	/jobs          — per-job namespaces from a cluster coordinator, each
-//	                 serving /jobs/<id>/{metrics,report,events} with the
-//	                 same formats as the top-level endpoints
+//	                 serving /jobs/<id>/{metrics,report,events,trace} with
+//	                 the same formats as the top-level endpoints (trace is
+//	                 the job's merged Chrome trace file, when available)
+//
+// plus any caller-mounted SSE streams (Config.Streams), e.g. the fleet
+// straggler feed of casvm-cluster at /fleet/events.
 //
 // The server only reads from concurrency-safe sinks (registry atomics,
 // the telemetry ring's mutex), so it can run while training is in flight
@@ -16,8 +21,10 @@
 package telemetry
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -47,7 +54,20 @@ type Config struct {
 	// one job's private registry, result snapshot and convergence stream
 	// with the same formats as the top-level endpoints.
 	Jobs func() []JobNamespace
+	// Health, when non-nil, is invoked per /healthz request and rendered
+	// as JSON (nil serves {"status":"ok"}). The endpoint always answers
+	// 200 — the document carries the detail (uptime, worker counts).
+	Health func() any
+	// Streams mounts additional cursor-paged SSE feeds, keyed by path
+	// (e.g. "fleet/events" serves at /fleet/events). Each request starts
+	// from cursor 0 and follows the source's returned cursors.
+	Streams map[string]StreamSource
 }
+
+// StreamSource is a cursor-paged event feed for an SSE endpoint: it
+// returns the items at cursors ≥ cursor plus the next cursor to poll
+// from, never blocking.
+type StreamSource func(cursor uint64) ([]any, uint64)
 
 // JobNamespace is one job's slice of the telemetry surface. Any sink may
 // be nil; its endpoint then serves an empty document.
@@ -57,6 +77,10 @@ type JobNamespace struct {
 	Metrics *trace.Registry
 	Report  func() any
 	Ring    *smo.TelemetryRing
+	// Trace, when non-nil, writes the job's merged Chrome trace file;
+	// served at /jobs/<id>/trace (404 when nil — e.g. no fleet telemetry
+	// was shipped for the job).
+	Trace func(w io.Writer) error
 }
 
 // Server is a running telemetry endpoint.
@@ -114,6 +138,27 @@ func Start(addr string, cfg Config) (*Server, error) {
 	mux.HandleFunc("/jobs/", func(w http.ResponseWriter, r *http.Request) {
 		serveJob(w, r, cfg)
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		v := any(map[string]string{"status": "ok"})
+		if cfg.Health != nil {
+			v = cfg.Health()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	})
+	for name, src := range cfg.Streams {
+		src := src
+		mux.HandleFunc("/"+name, func(w http.ResponseWriter, r *http.Request) {
+			var cursor uint64
+			StreamSSE(w, r, cfg.PollInterval, func() []any {
+				var items []any
+				items, cursor = src(cursor)
+				return items
+			})
+		})
+	}
 	// net/http/pprof self-registers only on DefaultServeMux; wire the
 	// handlers explicitly so this mux stays self-contained.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -172,6 +217,21 @@ func serveJob(w http.ResponseWriter, r *http.Request, cfg Config) {
 		_ = enc.Encode(v)
 	case "events":
 		serveSSE(w, r, job.Ring, cfg.PollInterval)
+	case "trace":
+		if job.Trace == nil {
+			http.NotFound(w, r)
+			return
+		}
+		// Buffer so a mid-trace merge error becomes a clean 500 instead
+		// of a truncated download.
+		var buf bytes.Buffer
+		if err := job.Trace(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.trace", id))
+		_, _ = buf.WriteTo(w)
 	default:
 		http.NotFound(w, r)
 	}

@@ -228,6 +228,14 @@ type TraceExtra struct {
 	CausalityViolations int64       `json:"causality_violations"`
 	Segments            [][]Segment `json:"segments"`
 	Edges               []FlowEdge  `json:"edges"`
+
+	// Timebase is TimebaseVirtual (or empty) for in-process α–β traces and
+	// TimebaseWall for fleet-merged multi-process traces whose coordinates
+	// are offset-rebased wall seconds. ClockOffsetsNs, when present, is the
+	// per-rank offset (rank clock − coordinator clock, ns) the merge
+	// subtracted from each rank's timestamps.
+	Timebase       string  `json:"timebase,omitempty"`
+	ClockOffsetsNs []int64 `json:"clock_offsets_ns,omitempty"`
 }
 
 // Extra assembles the timeline's causal payload for trace export (nil for
@@ -242,5 +250,7 @@ func (t *Timeline) Extra() *TraceExtra {
 		CausalityViolations: t.CausalityViolations(),
 		Segments:            t.Segments(),
 		Edges:               t.FlowEdges(),
+		Timebase:            t.timebase,
+		ClockOffsetsNs:      t.offsetsNs,
 	}
 }

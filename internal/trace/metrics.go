@@ -138,15 +138,23 @@ func (h *Histogram) Quantile(q float64) float64 {
 	var cum int64
 	for i, b := range h.bounds {
 		c := h.counts[i].Load()
+		if c == 0 {
+			// An empty bucket holds no observation, so no rank can land in
+			// it — skipping keeps q=0 (and any boundary rank) pinned to a
+			// bucket that actually saw data instead of an arbitrary bound.
+			continue
+		}
 		if float64(cum)+float64(c) >= rank {
 			lo := 0.0
 			if i > 0 {
 				lo = h.bounds[i-1]
 			}
-			if c == 0 {
-				return b
-			}
 			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
 			return lo + frac*(b-lo)
 		}
 		cum += c

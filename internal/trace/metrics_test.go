@@ -311,3 +311,46 @@ func TestHistogramQuantile(t *testing.T) {
 		t.Fatalf("+Inf bucket quantile %v, want highest finite bound 2", got)
 	}
 }
+
+// TestHistogramQuantileEmpty is the regression test for the empty-histogram
+// and empty-bucket paths: every quantile of an unobserved histogram is
+// exactly 0 (never NaN or a bucket bound), a zero-value Histogram is safe,
+// and ranks that land on the boundary of an empty bucket are attributed to
+// a bucket that actually saw data.
+func TestHistogramQuantileEmpty(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("qe_seconds", "", []float64{0.001, 1, 100})
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		got := h.Quantile(q)
+		if got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+		if math.IsNaN(got) {
+			t.Fatalf("empty histogram Quantile(%v) is NaN", q)
+		}
+	}
+	var zero Histogram
+	if got := zero.Quantile(0.5); got != 0 {
+		t.Fatalf("zero-value histogram Quantile = %v, want 0", got)
+	}
+
+	// Empty leading buckets: all mass in (10, 100]. q=0's rank (0) sits on
+	// the boundary of every empty bucket before it; it must report from the
+	// populated bucket, not an empty bound.
+	h2 := reg.Histogram("qe2_seconds", "", []float64{1, 10, 100})
+	for i := 0; i < 10; i++ {
+		h2.Observe(50)
+	}
+	if got := h2.Quantile(0); got != 10 {
+		t.Fatalf("q=0 with empty leading buckets = %v, want 10 (lower bound of the populated bucket)", got)
+	}
+	if got := h2.Quantile(1); got != 100 {
+		t.Fatalf("q=1 = %v, want 100", got)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got := h2.Quantile(q)
+		if math.IsNaN(got) || got < 10 || got > 100 {
+			t.Fatalf("Quantile(%v) = %v, want inside the populated bucket (10, 100]", q, got)
+		}
+	}
+}

@@ -118,6 +118,24 @@ func (r *Recorder) emit(sp Span, virtEnd, flops float64) {
 	})
 }
 
+// AddEvent appends an already-completed event to the recorder, honoring
+// the buffer cap. The event's Rank is overwritten with the recorder's
+// rank so merged timelines cannot misattribute spans. This is the
+// ingestion path for externally recorded spans (the fleet collector
+// rebasing worker events onto a common clock); live instrumentation
+// should keep using Begin/End.
+func (r *Recorder) AddEvent(e Event) {
+	if r == nil {
+		return
+	}
+	if len(r.events) >= r.max {
+		r.drops++
+		return
+	}
+	e.Rank = r.rank
+	r.events = append(r.events, e)
+}
+
 // Instant records a zero-duration marker event (e.g. a fault injection or
 // a rank declared lost).
 func (r *Recorder) Instant(cat, name string) {
@@ -162,6 +180,36 @@ type Timeline struct {
 
 	edgeSeq   atomic.Int64 // flow-edge id allocator (NextEdgeID)
 	causality atomic.Int64 // flow edges that violated recv ≥ send
+
+	// Timebase of the segment/edge "virtual" coordinates: TimebaseVirtual
+	// (the α–β model clock, the default) or TimebaseWall for merged
+	// multi-process timelines whose coordinates are offset-rebased wall
+	// seconds. offsetsNs, when set, records the per-rank clock offset (rank
+	// clock − reference clock, ns) applied during rebasing.
+	timebase  string
+	offsetsNs []int64
+}
+
+// Timebase values for Timeline.SetTimebase / TraceExtra.Timebase.
+const (
+	// TimebaseVirtual marks segment/edge coordinates as α–β-model virtual
+	// seconds (the in-process default; an empty Timebase means the same).
+	TimebaseVirtual = "virtual"
+	// TimebaseWall marks coordinates as wall-clock seconds rebased onto a
+	// common reference clock — produced by the fleet collector when merging
+	// per-rank traces from real multi-process runs.
+	TimebaseWall = "wall"
+)
+
+// SetTimebase declares the timeline's coordinate system and, optionally,
+// the per-rank clock offsets (rank − reference, ns) that were applied to
+// land every rank on it. No-op on a nil timeline.
+func (t *Timeline) SetTimebase(tb string, offsetsNs []int64) {
+	if t == nil {
+		return
+	}
+	t.timebase = tb
+	t.offsetsNs = offsetsNs
 }
 
 // NewTimeline creates a timeline for p ranks with the default per-rank
