@@ -27,7 +27,7 @@ race-matrix:
 # corpora cannot rot; `make fuzz` does the time-boxed exploration.
 fuzz-smoke:
 	$(GO) test -run 'Fuzz' ./internal/data ./internal/tcpmpi ./internal/trace \
-		./internal/serve
+		./internal/serve ./internal/cluster
 
 # serve-smoke boots the live telemetry server against a real training run
 # held mid-flight (TestServeSmoke) and against a cluster coordinator with
@@ -56,12 +56,15 @@ soak:
 # soak-cluster churns a live coordinator for ~20s: six concurrent jobs over
 # six workers while a chaos goroutine revokes and re-registers leases every
 # 150ms. Every job must terminate (no hangs), at least half must complete,
-# and completed jobs must still converge to accurate models. The fleet soak
-# then forks the real 4-process examples/distributed launcher with an
+# and completed jobs must still converge to accurate models. The remote
+# soak then repeats the exercise with real executor processes — Remote jobs
+# train on forked workers while the churn loop kill -9s and replaces them,
+# and every completed job must land on its fault-free ModelHash. The fleet
+# soak then forks the real 4-process examples/distributed launcher with an
 # injected straggler and asserts the merged fleet trace is produced, parses
 # strictly, and analyzes end-to-end.
 soak-cluster:
-	CASVM_SOAK_CLUSTER=1 $(GO) test -count=1 -timeout 300s -run TestClusterSoak -v ./internal/cluster
+	CASVM_SOAK_CLUSTER=1 $(GO) test -count=1 -timeout 300s -run 'TestClusterSoak|TestRemoteSoak' -v ./internal/cluster
 	CASVM_SOAK_CLUSTER=1 $(GO) test -count=1 -timeout 300s -run TestFleetSoak -v ./internal/telemetry/fleet
 
 # bench runs the SMO hot-path benchmark suite at 1 and 4 threads and
@@ -136,16 +139,19 @@ fuzz:
 	$(GO) test -fuzz FuzzReadFrame -fuzztime 10s ./internal/tcpmpi
 	$(GO) test -fuzz FuzzRunReportRoundTrip -fuzztime 10s ./internal/trace
 	$(GO) test -run 'Fuzz' -fuzz FuzzDecodePredictRequest -fuzztime 10s ./internal/serve
+	$(GO) test -run 'Fuzz' -fuzz FuzzExecFrames -fuzztime 10s ./internal/cluster
 
 # cover enforces statement-coverage floors on the packages whose
 # regressions are silent: 70% on the observability/modeling set, 75% on the
 # fleet telemetry plane (its merge/repair arithmetic fails quietly — a
-# wrong offset still produces a plausible-looking trace), 80% on the
-# inference plane (it fronts production traffic, so its error paths must be
-# exercised, not just its happy path).
+# wrong offset still produces a plausible-looking trace) and the cluster
+# runtime (its recovery and remote-executor paths only run when workers
+# die, so untested code is exactly the code that fires in production
+# incidents), 80% on the inference plane (it fronts production traffic, so
+# its error paths must be exercised, not just its happy path).
 COVER_PKGS = ./internal/trace ./internal/trace/critpath ./internal/perfmodel ./internal/expt \
 	./internal/kernel ./internal/la ./internal/compress
-COVER_PKGS_75 = ./internal/telemetry/fleet
+COVER_PKGS_75 = ./internal/telemetry/fleet ./internal/cluster
 COVER_PKGS_80 = ./internal/serve
 cover:
 	@for pkg in $(COVER_PKGS); do \

@@ -10,7 +10,9 @@
 //
 //	casvm-cluster -listen localhost:7600 -serve localhost:9100
 //
-// Join workers (each one extra gang capacity; Ctrl-C leaves cleanly):
+// Join workers (each an executor that trains remotely submitted jobs'
+// shard ranks in its own process, and gang capacity for in-process jobs;
+// Ctrl-C leaves cleanly):
 //
 //	casvm-cluster -join localhost:7600
 //
@@ -54,7 +56,8 @@ func main() {
 		listen     = flag.String("listen", "localhost:7600", "coordinator registration address (workers and clients dial this)")
 		serve      = flag.String("serve", "", "serve live telemetry on this address: /metrics, /healthz, /jobs, /jobs/<id>/{metrics,report,events,trace}, /fleet/events")
 		ttl        = flag.Duration("lease-ttl", 0, "worker lease TTL; a silent worker is expired after this (0 = 6s default)")
-		join       = flag.String("join", "", "worker mode: register with the coordinator at this address and serve as gang capacity until interrupted")
+		join       = flag.String("join", "", "worker mode: register with the coordinator at this address and execute assigned shard ranks until interrupted")
+		fleetOff   = flag.Bool("no-fleet", false, "worker mode: do not stream fleet telemetry for executed shard ranks")
 		fleetTrace = flag.String("fleet-trace", "", "write each finished job's merged fleet trace to this directory as <job-id>.trace")
 	)
 	flag.Parse()
@@ -62,8 +65,12 @@ func main() {
 	if *join != "" {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
-		log.Printf("casvm-cluster: joining %s as a worker (Ctrl-C to leave)", *join)
-		if err := cluster.JoinWorker(ctx, *join); err != nil {
+		log.Printf("casvm-cluster: joining %s as an executor worker (Ctrl-C to leave)", *join)
+		err := cluster.RunExecutor(ctx, *join, cluster.ExecutorOptions{
+			Fleet: !*fleetOff,
+			Logf:  log.Printf,
+		})
+		if err != nil {
 			log.Fatalf("casvm-cluster: %v", err)
 		}
 		log.Printf("casvm-cluster: lease ended, leaving cleanly")

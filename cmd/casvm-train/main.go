@@ -45,6 +45,7 @@ func main() {
 		chaos   = flag.Int64("chaos", 0, "inject a seeded random fault schedule (crashes, drops, delays); pair with -recover")
 		replayF = flag.String("replay-faults", "", "replay the fault schedule recorded in this run report (a JSON file from -report)")
 		clustr  = flag.String("cluster", "", "submit the run as a job to the casvm-cluster coordinator at this address instead of training locally (requires -data; jobs are supervised with shrink recovery unless -recover respawn)")
+		remote  = flag.Bool("remote", false, "with -cluster: execute each rank's shard solve in its worker's own process instead of in-process on the coordinator (ra-ca only)")
 		seed    = flag.Int64("seed", 1, "training seed (partitioning and solver tie-breaks)")
 		list    = flag.Bool("list", false, "list datasets and methods, then exit")
 	)
@@ -76,14 +77,21 @@ func main() {
 		spec := cluster.JobSpec{
 			ID: "train", Dataset: *dataset, Scale: *scale, Method: *method,
 			P: *p, C: *c, Gamma: *gamma, Tol: *tol, Seed: *seed,
-			Policy: policy, CheckpointEvery: *ckptEv,
+			Policy: policy, CheckpointEvery: *ckptEv, Remote: *remote,
 		}
-		fmt.Printf("submitting %s job to %s (p=%d, dataset %s)\n", *method, *clustr, *p, *dataset)
-		res, err := cluster.SubmitAndWait(*clustr, spec, 0)
+		fmt.Printf("submitting %s job to %s (p=%d, dataset %s, remote=%v)\n", *method, *clustr, *p, *dataset, *remote)
+		// A coordinator restarting mid-submit surfaces as a registration
+		// or transport error; retry with capped backoff instead of
+		// failing the CLI.
+		res, err := cluster.SubmitWithRetry(*clustr, spec, 0, cluster.RetryConfig{
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "casvm-train: "+format+"\n", args...)
+			},
+		})
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("job %s done: method=%s P=%d finalP=%d\n", res.ID, res.Method, res.P, res.FinalP)
+		fmt.Printf("job %s done: method=%s P=%d finalP=%d generations=%d\n", res.ID, res.Method, res.P, res.FinalP, res.Generations)
 		fmt.Printf("iterations=%d SVs=%d accuracy=%.2f%%\n", res.Iters, res.SVs, 100*res.Accuracy)
 		fmt.Printf("virtual time: %.4fs  wall: %.3fs\n", res.TotalSec, res.WallSec)
 		if res.Recoveries > 0 || res.Grows > 0 {

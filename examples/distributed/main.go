@@ -51,6 +51,15 @@
 //	go run ./examples/distributed -launch -p 4 -fleet-trace merged.trace \
 //	    -straggle-rank 2 -straggle-sec 2s
 //
+// Cluster-executor demo — the same machinery productized: an elastic
+// coordinator (internal/cluster) gang-schedules a Remote job onto real
+// executor worker processes, each training its shard ranks in its own
+// process over a tcpmpi mesh bootstrapped through the lease protocol. The
+// demo runs the job twice — fault-free, then with a kill -9 on a worker
+// mid-epoch — and asserts both land on the same ModelHash:
+//
+//	go run ./examples/distributed -cluster -p 2
+//
 // Or place workers by hand (possibly on different hosts):
 //
 //	go run ./examples/distributed -rank 0 -peers host0:7070,host1:7071
@@ -59,6 +68,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -71,6 +81,7 @@ import (
 	"time"
 
 	"casvm"
+	"casvm/internal/cluster"
 	"casvm/internal/faults"
 	"casvm/internal/model"
 	"casvm/internal/tcpmpi"
@@ -110,6 +121,10 @@ func main() {
 		straggleSec  = flag.Duration("straggle-sec", 2*time.Second, "how long the straggling rank is delayed (with -straggle-rank)")
 		fleetOn      = flag.Bool("fleet", false, "worker mode: stream trace spans and metrics to the registrar over the lease")
 		stragIfRank  = flag.Int("straggle-if-rank", -1, "worker mode: straggle only if discovery assigned this rank")
+
+		clusterDemo = flag.Bool("cluster", false, "run the cluster-executor demo: a coordinator gang-schedules a Remote job onto -p forked executor processes, kill -9s one mid-epoch, and verifies the recovered ModelHash")
+		execAddr    = flag.String("executor", "", "executor worker mode: register with the cluster coordinator at this address and train assigned shard ranks in-process")
+		execDelay   = flag.Duration("exec-delay", 0, "executor worker mode: per-iteration training delay (stretches solves so deaths land mid-epoch)")
 	)
 	flag.Parse()
 
@@ -117,6 +132,14 @@ func main() {
 		log.Fatalf("unknown -recover policy %q (want off, respawn or shrink)", *policy)
 	}
 	switch {
+	case *clusterDemo:
+		runClusterDemo(*p)
+	case *execAddr != "":
+		if err := cluster.RunExecutor(context.Background(), *execAddr, cluster.ExecutorOptions{
+			Fleet: true, IterDelay: *execDelay, Logf: log.Printf,
+		}); err != nil {
+			log.Fatalf("executor: %v", err)
+		}
 	case *launch:
 		launchWorkers(launchOpts{
 			p: *p, killRank: *killRank, killAfter: *killAfter, policy: *policy,
@@ -386,6 +409,118 @@ func launchWorkers(lo launchOpts) {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runClusterDemo is the remote-execution walkthrough: a cluster
+// coordinator gang-schedules a Remote RA-CA job onto p forked executor
+// processes (each solving its shard ranks in its own process, checkpoints
+// streaming back over the lease), then repeats the run with a kill -9 on
+// one executor mid-epoch. The coordinator re-gangs the survivors from the
+// streamed checkpoints, and the demo fails unless the recovered run lands
+// on the exact fault-free ModelHash.
+func runClusterDemo(p int) {
+	start := time.Now()
+	stamp := func(format string, a ...any) {
+		fmt.Printf("[%6.2fs] "+format+"\n", append([]any{time.Since(start).Seconds()}, a...)...)
+	}
+	coord, err := cluster.New("127.0.0.1:0", cluster.Config{
+		LeaseTTL: 2 * time.Second,
+		Metrics:  trace.NewRegistry(),
+		Logf:     log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coord.Close()
+	stamp("coordinator listening on %s", coord.Addr())
+
+	var workers []*exec.Cmd
+	spawnExecutor := func() {
+		cmd := exec.Command(os.Args[0], "-executor", coord.Addr(), "-exec-delay", "2ms")
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			log.Fatal(err)
+		}
+		workers = append(workers, cmd)
+	}
+	defer func() {
+		for _, cmd := range workers {
+			if cmd.Process != nil {
+				cmd.Process.Kill()
+			}
+			cmd.Wait()
+		}
+	}()
+	for i := 0; i < p; i++ {
+		spawnExecutor()
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for len(coord.Workers()) < p {
+		if time.Now().After(deadline) {
+			log.Fatalf("only %d/%d executors registered", len(coord.Workers()), p)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	stamp("%d executor processes registered", p)
+
+	spec := cluster.JobSpec{
+		ID: "demo-ref", Dataset: "toy", Scale: 0.25,
+		Method: "ra-ca", P: p, Seed: 1,
+		Policy: "shrink", CheckpointEvery: 8, Remote: true,
+	}
+	stamp("fault-free reference: submitting Remote job (each rank solves in its worker's process)")
+	ref := runDemoJob(coord, spec, stamp)
+	stamp("reference hash %s (%d iterations, %d SVs)", ref.ModelHash, ref.Iters, ref.SVs)
+
+	spec.ID = "demo-kill"
+	stamp("kill run: same job, but a worker dies mid-epoch")
+	j, err := coord.Submit(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		pr := j.Remote()
+		if len(pr.CkptIters) >= p && len(pr.DoneRanks) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("no mid-epoch window: progress %+v", pr)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	victim := workers[len(workers)-1]
+	stamp("kill -9 executor pid %d (every rank has streamed a checkpoint; none has finished)", victim.Process.Pid)
+	if err := victim.Process.Kill(); err != nil {
+		log.Fatal(err)
+	}
+	go victim.Wait()
+	<-j.Done()
+	res := j.Result()
+	if res.Err != "" {
+		log.Fatalf("kill run failed: %s", res.Err)
+	}
+	stamp("recovered over %d generations (%d recover(ies), lost ranks %v, virtual time %.4fs)",
+		res.Generations, res.Recoveries, res.LostRanks, res.TotalSec)
+	if res.ModelHash != ref.ModelHash {
+		log.Fatalf("recovered hash %s != fault-free %s", res.ModelHash, ref.ModelHash)
+	}
+	stamp("recovered hash %s == fault-free hash — kill -9 cost generations, not bits", res.ModelHash)
+}
+
+// runDemoJob submits one Remote job and blocks for its result.
+func runDemoJob(coord *cluster.Coordinator, spec cluster.JobSpec, stamp func(string, ...any)) *cluster.JobResult {
+	j, err := coord.Submit(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	<-j.Done()
+	res := j.Result()
+	if res.Err != "" {
+		log.Fatalf("job %s failed: %s", spec.ID, res.Err)
+	}
+	return res
 }
 
 // writeMergedTrace waits for every rank's telemetry stream to complete,

@@ -5,15 +5,26 @@
 // running job shrinks when a lease expires and grows back when a worker
 // joins mid-run.
 //
-// Workers are capacity tokens: they dial in, hold a heartbeat-renewed
-// lease, and gate how many ranks the coordinator will model concurrently —
-// the training worlds themselves execute in-process on the coordinator,
-// where the α–β clock keeps results reproducible. That split means every
-// membership event maps onto fault machinery that already has exactness
-// guarantees: a lease expiry injects the same CrashError a scheduled
-// "leave" would, and a registration mid-run surfaces as a JoinCheck
-// scale-up at the next checkpoint epoch boundary. Shrink, grow and respawn
-// all converge to the fault-free ModelHash for Dis-SMO.
+// Workers execute. A worker dials in, holds a heartbeat-renewed lease, and
+// — for jobs submitted with Remote set — runs its assigned shard ranks'
+// solves inside its own process (cluster.RunExecutor), meshed to its gang
+// over tcpmpi and streaming epoch-boundary checkpoints back to the
+// coordinator as lease control frames. The coordinator holds the global
+// state a node-level fault domain needs: the latest checkpoint per rank
+// and every finished shard model, so a lease expiry — including a real
+// `kill -9` on the worker process — re-gangs the survivors (plus any
+// spare) from the last streamed checkpoints and still lands on the
+// fault-free ModelHash, with the lost work α–β-priced into TotalSec. See
+// remote.go for the coordinator half and executor.go for the worker half.
+//
+// Jobs without Remote keep the original capacity-token model: workers gate
+// how many ranks the coordinator will model concurrently while the
+// training world executes in-process, where every membership event maps
+// onto fault machinery with exactness guarantees — a lease expiry injects
+// the same CrashError a scheduled "leave" would, and a registration
+// mid-run surfaces as a JoinCheck scale-up at the next checkpoint epoch
+// boundary. Shrink, grow and respawn all converge to the fault-free
+// ModelHash for Dis-SMO.
 //
 // The package deliberately does not import the HTTP telemetry server: the
 // coordinator exposes per-job metrics registries, telemetry rings, and the
@@ -182,6 +193,13 @@ func (c *Coordinator) Close() error {
 		c.cFailed.Inc()
 		close(j.done)
 	}
+	// Wake running remote supervisors so their goroutines observe the
+	// shutdown instead of waiting on frames that will never arrive.
+	for _, j := range c.jobs {
+		if j.remote != nil && j.state == JobRunning {
+			j.remote.closeRun()
+		}
+	}
 	c.mu.Unlock()
 	err := c.reg.Close()
 	c.wg.Wait()
@@ -238,6 +256,9 @@ func (c *Coordinator) Submit(spec JobSpec) (*Job, error) {
 		done:    make(chan struct{}),
 		state:   JobQueued,
 	}
+	if spec.Remote {
+		j.remote = newRemoteRun(j)
+	}
 	c.jobs = append(c.jobs, j)
 	c.byID[id] = j
 	c.queue = append(c.queue, j)
@@ -285,8 +306,13 @@ func (c *Coordinator) onGone(w tcpmpi.WorkerInfo, expired bool) {
 		j.gang = removeID(j.gang, w.ID)
 		c.gBusy.Set(float64(len(c.owner)))
 		if j.state == JobRunning {
-			j.inj.kill()
-			c.logf("cluster: worker %d lost (expired=%v); injecting rank death into job %s", w.ID, expired, j.id)
+			if j.remote != nil {
+				j.remote.workerLost(w.ID)
+				c.logf("cluster: worker %d lost (expired=%v); re-ganging remote job %s", w.ID, expired, j.id)
+			} else {
+				j.inj.kill()
+				c.logf("cluster: worker %d lost (expired=%v); injecting rank death into job %s", w.ID, expired, j.id)
+			}
 		}
 		return
 	}
@@ -309,21 +335,32 @@ func (c *Coordinator) schedule() {
 		if pol == core.RecoverOff {
 			continue
 		}
+		attached := 0
 		for len(j.gang) < j.spec.P && len(c.free) > 0 {
 			id := c.free[0]
 			c.free = c.free[1:]
 			j.gang = append(j.gang, id)
 			c.owner[id] = j
-			if pol == core.RecoverShrink {
+			attached++
+			switch {
+			case j.remote != nil:
+				// The remote supervisor decides whether the new worker
+				// triggers a wider re-gang or backfills the next
+				// generation; it is woken below.
+				c.logf("cluster: worker %d attached to remote job %s", id, j.id)
+			case pol == core.RecoverShrink:
 				// The world grows at the next epoch boundary.
 				j.inj.addJoin(1)
 				c.cScaleups.Inc()
 				c.logf("cluster: worker %d attached to job %s (scale-up to %d)", id, j.id, len(j.gang))
-			} else {
+			default:
 				// Respawn keeps the world width fixed; the worker
 				// backfills lost capacity.
 				c.logf("cluster: worker %d backfills job %s", id, j.id)
 			}
+		}
+		if attached > 0 && j.remote != nil {
+			j.remote.kick()
 		}
 	}
 	c.gBusy.Set(float64(len(c.owner)))
@@ -345,10 +382,14 @@ func (c *Coordinator) schedule() {
 	c.gQueued.Set(float64(len(c.queue)))
 }
 
-// runJob executes one job's training world in-process and records the
-// outcome.
+// runJob executes one job — remotely on its gang's worker processes when
+// the spec asks for it, in-process otherwise — and records the outcome.
 func (c *Coordinator) runJob(j *Job) {
 	defer c.wg.Done()
+	if j.remote != nil {
+		c.runRemoteJob(j)
+		return
+	}
 	res := &JobResult{ID: j.id, Method: j.spec.Method, Dataset: datasetName(j.spec), P: j.spec.P}
 	pr, ds, err := trainParams(j.spec)
 	if err == nil {

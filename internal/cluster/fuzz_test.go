@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"testing"
+
+	"casvm/internal/core"
+	"casvm/internal/smo"
+)
+
+// Frame-kind selectors for the fuzz corpus: one per exec decoder.
+const (
+	fzPrepare = iota
+	fzMeshAddr
+	fzStart
+	fzCkpt
+	fzRankDone
+	fzAbort
+	fzFail
+	fzKinds
+)
+
+// fuzzCheckpointBlob is a small valid solver checkpoint for seeds that
+// must clear the blob validation layer.
+func fuzzCheckpointBlob(iters int) []byte {
+	ck := &smo.Checkpoint{
+		Iters: iters,
+		Alpha: []float64{0, 0.5, 1},
+		F:     []float64{-1, 0.25, 1},
+	}
+	return ck.Encode()
+}
+
+// fuzzStartFrame is a fully valid execStart seed: the richest frame, with
+// a nested spec, peer table, rank assignment and resume blob.
+func fuzzStartFrame() []byte {
+	return marshalExec(execStart{
+		Job: "fz", Gen: 1,
+		Spec: JobSpec{
+			ID: "fz", Mixture: testMixture(64),
+			Method: string(core.MethodRACA), P: 2, Seed: 1, Policy: "shrink",
+		},
+		MeshRank:        0,
+		Peers:           []string{"127.0.0.1:1", "127.0.0.1:2"},
+		Ranks:           []int{0, 1},
+		Resume:          map[int][]byte{1: fuzzCheckpointBlob(8)},
+		CheckpointEvery: 4,
+	})
+}
+
+// FuzzExecFrames drives every remote-execution frame decoder with hostile
+// payloads. These decoders sit on the trust boundary — each frame arrives
+// from an unauthenticated lease holder — so none may panic, and whatever
+// they accept must re-validate cleanly after a marshal round-trip (no
+// "valid once, invalid forever" frames that a coordinator would relay or
+// log and a later consumer would choke on). Run with `go test -fuzz
+// FuzzExecFrames ./internal/cluster` for extended exploration; the seed
+// corpus runs in normal test mode and in `make fuzz-smoke`.
+func FuzzExecFrames(f *testing.F) {
+	type seed struct {
+		kind byte
+		in   []byte
+	}
+	seeds := []seed{
+		// Valid frames of every kind: the fuzzer mutates from working
+		// structure instead of rediscovering JSON.
+		{fzPrepare, marshalExec(execPrepare{Job: "fz", Gen: 1})},
+		{fzMeshAddr, marshalExec(execMeshAddr{Job: "fz", Gen: 1, Addr: "127.0.0.1:9"})},
+		{fzStart, fuzzStartFrame()},
+		{fzCkpt, marshalExec(execCkpt{Job: "fz", Gen: 2, Rank: 1, Iters: 8, VirtSec: 0.5, Blob: fuzzCheckpointBlob(8)})},
+		{fzRankDone, marshalExec(execRankDone{Job: "fz", Gen: 1, Rank: 0, Iters: 9, SVs: 3, VirtSec: 1, Model: []byte("m"), Center: []float64{0.5, -1}})},
+		{fzAbort, marshalExec(execAbort{Job: "fz", Gen: 3, Reason: "re-gang"})},
+		{fzFail, marshalExec(execFail{Job: "fz", Gen: 1, Rank: 0, Fatal: true, Err: "boom"})},
+		// Hostile shapes the validators must reject without panicking.
+		{fzPrepare, nil},
+		{fzPrepare, []byte(`{"job":"","gen":0}`)},
+		{fzMeshAddr, []byte(`{"job":"fz","gen":1,"addr":""}`)},
+		{fzStart, []byte(`{"job":"fz","gen":1,"spec":{"p":-1}}`)},
+		{fzStart, []byte(`{"job":"fz","gen":1,"spec":{"p":2,"dataset":"x"},"peers":["a"],"mesh_rank":7,"ranks":[0],"ckpt_every":4}`)},
+		{fzStart, []byte(`{"job":"fz","gen":1,"spec":{"p":2,"dataset":"x"},"peers":["a","b"],"ranks":[0,0],"ckpt_every":4}`)},
+		{fzCkpt, []byte(`{"job":"fz","gen":1,"rank":0,"iters":5,"blob":"AAAA"}`)},
+		{fzCkpt, []byte(`{"job":"fz","gen":1,"rank":-3,"iters":0}`)},
+		{fzRankDone, []byte(`{"job":"fz","gen":1,"rank":0,"iters":1,"model":"","center":[]}`)},
+		{fzFail, []byte(`{"job":"fz","gen":1,"error":""}`)},
+		{fzAbort, []byte(`{not json`)},
+	}
+	for _, s := range seeds {
+		f.Add(s.kind, s.in)
+	}
+	f.Fuzz(func(t *testing.T, kind byte, in []byte) {
+		switch kind % fzKinds {
+		case fzPrepare:
+			if m, err := decodeExecPrepare(in); err == nil {
+				mustReDecode(t, func(b []byte) error { _, err := decodeExecPrepare(b); return err }, marshalExec(m))
+			}
+		case fzMeshAddr:
+			if m, err := decodeExecMeshAddr(in); err == nil {
+				mustReDecode(t, func(b []byte) error { _, err := decodeExecMeshAddr(b); return err }, marshalExec(m))
+			}
+		case fzStart:
+			if m, err := decodeExecStart(in); err == nil {
+				mustReDecode(t, func(b []byte) error { _, err := decodeExecStart(b); return err }, marshalExec(m))
+			}
+		case fzCkpt:
+			if m, err := decodeExecCkpt(in); err == nil {
+				mustReDecode(t, func(b []byte) error { _, err := decodeExecCkpt(b); return err }, marshalExec(m))
+			}
+		case fzRankDone:
+			if m, err := decodeExecRankDone(in); err == nil {
+				mustReDecode(t, func(b []byte) error { _, err := decodeExecRankDone(b); return err }, marshalExec(m))
+			}
+		case fzAbort:
+			if m, err := decodeExecAbort(in); err == nil {
+				mustReDecode(t, func(b []byte) error { _, err := decodeExecAbort(b); return err }, marshalExec(m))
+			}
+		case fzFail:
+			if m, err := decodeExecFail(in); err == nil {
+				mustReDecode(t, func(b []byte) error { _, err := decodeExecFail(b); return err }, marshalExec(m))
+			}
+		}
+	})
+}
+
+func mustReDecode(t *testing.T, decode func([]byte) error, b []byte) {
+	t.Helper()
+	if err := decode(b); err != nil {
+		t.Fatalf("accepted frame fails after marshal round-trip: %v", err)
+	}
+}
+
+// TestExecFrameRoundTrips pins the coordinator↔executor wire contract:
+// every frame the sender-side marshals must decode back field-identical.
+func TestExecFrameRoundTrips(t *testing.T) {
+	prep := execPrepare{Job: "rt", Gen: 2}
+	if got, err := decodeExecPrepare(marshalExec(prep)); err != nil || got != prep {
+		t.Fatalf("prepare round-trip: %+v, %v", got, err)
+	}
+	addr := execMeshAddr{Job: "rt", Gen: 2, Addr: "127.0.0.1:7001"}
+	if got, err := decodeExecMeshAddr(marshalExec(addr)); err != nil || got != addr {
+		t.Fatalf("mesh-addr round-trip: %+v, %v", got, err)
+	}
+
+	got, err := decodeExecStart(fuzzStartFrame())
+	if err != nil {
+		t.Fatalf("start round-trip: %v", err)
+	}
+	if got.Spec.P != 2 || len(got.Peers) != 2 || len(got.Ranks) != 2 || got.CheckpointEvery != 4 {
+		t.Fatalf("start round-trip dropped fields: %+v", got)
+	}
+	ck, err := smo.DecodeCheckpoint(got.Resume[1])
+	if err != nil || ck.Iters != 8 {
+		t.Fatalf("start resume blob did not survive: %v", err)
+	}
+
+	ckpt := execCkpt{Job: "rt", Gen: 1, Rank: 0, Iters: 8, VirtSec: 0.25, Blob: fuzzCheckpointBlob(8)}
+	gotCk, err := decodeExecCkpt(marshalExec(ckpt))
+	if err != nil || gotCk.Iters != 8 || gotCk.VirtSec != 0.25 {
+		t.Fatalf("checkpoint round-trip: %+v, %v", gotCk, err)
+	}
+	// The iters field is cross-checked against the blob, not trusted.
+	ckpt.Iters = 9
+	if _, err := decodeExecCkpt(marshalExec(ckpt)); err == nil {
+		t.Fatal("checkpoint frame with iters disagreeing with its blob was accepted")
+	}
+
+	fail := execFail{Job: "rt", Gen: 1, Rank: 1, Fatal: true, Err: "no such dataset"}
+	if got, err := decodeExecFail(marshalExec(fail)); err != nil || got != fail {
+		t.Fatalf("fail round-trip: %+v, %v", got, err)
+	}
+}

@@ -39,6 +39,15 @@ type JobSpec struct {
 	// reversible. CheckpointEvery is the snapshot cadence (0 = 64).
 	Policy          string `json:"policy,omitempty"`
 	CheckpointEvery int    `json:"ckpt_every,omitempty"`
+
+	// Remote executes each rank's shard solve inside the worker process
+	// holding its lease instead of modeling the world in-process on the
+	// coordinator. Only "ra-ca" qualifies — it is the one
+	// communication-free method, so a shard needs no collectives beyond
+	// the generation's start barrier — and the policy must allow
+	// recovery, since remote worker death is a real fault, not a
+	// simulated one.
+	Remote bool `json:"remote,omitempty"`
 }
 
 func (s JobSpec) policy() core.RecoveryPolicy {
@@ -68,8 +77,20 @@ func (s JobSpec) validate() error {
 	if s.Mixture == nil && s.Dataset == "" {
 		return fmt.Errorf("cluster: job names no dataset")
 	}
-	if _, _, err := resolveDataset(s); err != nil {
+	ds, _, err := resolveDataset(s)
+	if err != nil {
 		return err
+	}
+	if s.Remote {
+		if m, _ := core.ParseMethod(s.Method); m != core.MethodRACA {
+			return fmt.Errorf("cluster: remote execution supports %q only, got %q", core.MethodRACA, s.Method)
+		}
+		if s.policy() == core.RecoverOff {
+			return fmt.Errorf("cluster: remote execution needs a recovery policy (shrink or respawn)")
+		}
+		if ds.X.Rows() < s.P {
+			return fmt.Errorf("cluster: %d samples cannot feed %d remote ranks", ds.X.Rows(), s.P)
+		}
 	}
 	return nil
 }
@@ -176,6 +197,7 @@ type JobResult struct {
 	Grows       int    `json:"grows,omitempty"`
 	JoinedRanks int    `json:"joined_ranks,omitempty"`
 	Degraded    bool   `json:"degraded,omitempty"`
+	Generations int    `json:"generations,omitempty"` // remote jobs: gang generations dispatched
 	ModelHash   string `json:"model_hash,omitempty"`
 
 	Err string `json:"error,omitempty"`
@@ -189,6 +211,7 @@ type Job struct {
 	spec JobSpec
 
 	inj     *elasticInjector
+	remote  *remoteRun         // non-nil iff spec.Remote; own lock
 	metrics *trace.Registry    // per-job namespace, fed to Params.Metrics
 	ring    *smo.TelemetryRing // per-job convergence stream
 	done    chan struct{}

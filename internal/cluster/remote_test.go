@@ -1,0 +1,406 @@
+package cluster
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"casvm/internal/core"
+	"casvm/internal/tcpmpi"
+)
+
+// remoteSpec is the remote-execution test job: RA-CA (the one remote-capable
+// method) over the shared test mixture, checkpointing often enough that a
+// mid-epoch kill always finds a resume point.
+func remoteSpec(id string, p int, train int, policy string) JobSpec {
+	return JobSpec{
+		ID: id, Mixture: testMixture(train), Method: string(core.MethodRACA),
+		P: p, Seed: 1, CheckpointEvery: 4, Policy: policy, Remote: true,
+	}
+}
+
+// referenceHash trains the spec's fault-free local reference with the
+// identical parameter build and returns its ModelHash.
+func referenceHash(t *testing.T, spec JobSpec) string {
+	t.Helper()
+	pr, ds, err := trainParams(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := core.Train(ds.X, ds.Y, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := core.ModelHash(out.Set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// startExecutors runs n in-process executor workers against the
+// coordinator — the race-instrumented coverage of the executor paths.
+func startExecutors(t *testing.T, c *Coordinator, n int, delay time.Duration) context.CancelFunc {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Errors are expected at shutdown (revocation, coordinator
+			// close); the tests assert on job outcomes instead.
+			_ = RunExecutor(ctx, c.Addr(), ExecutorOptions{Fleet: true, IterDelay: delay})
+		}()
+	}
+	t.Cleanup(func() { cancel(); wg.Wait() })
+	waitFor(t, "executors registered", func() bool { return len(c.Workers()) >= n })
+	return cancel
+}
+
+// TestRemoteJobRunsOnExecutors: a Remote job's shard solves run inside the
+// executor workers, stream back over the leases, and assemble to the exact
+// hash the in-process fault-free reference produces.
+func TestRemoteJobRunsOnExecutors(t *testing.T) {
+	spec := remoteSpec("remote", 3, 240, "shrink")
+	want := referenceHash(t, spec)
+
+	c := newTestCoordinator(t, time.Second)
+	startExecutors(t, c, 3, 0)
+	j, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(120 * time.Second):
+		t.Fatal("remote job never finished")
+	}
+	res := j.Result()
+	if res.Err != "" {
+		t.Fatalf("remote job failed: %s", res.Err)
+	}
+	if res.ModelHash != want {
+		t.Fatalf("remote hash %s != reference %s", res.ModelHash, want)
+	}
+	if res.FinalP != 3 || res.Generations != 1 || res.Recoveries != 0 {
+		t.Fatalf("FinalP=%d Generations=%d Recoveries=%d, want 3/1/0",
+			res.FinalP, res.Generations, res.Recoveries)
+	}
+	if res.Accuracy < 0.85 {
+		t.Fatalf("remote accuracy %.3f", res.Accuracy)
+	}
+	if res.TotalSec <= 0 {
+		t.Fatal("remote run carries no α–β virtual time")
+	}
+	if got := c.Metrics().Snapshot()["cluster_remote_generations_total"]; got != 1 {
+		t.Fatalf("cluster_remote_generations_total=%v, want 1", got)
+	}
+	// The executors' fleet hellos reached the collector under this job id.
+	waitFor(t, "fleet stream", func() bool {
+		for _, job := range c.Fleet().Jobs() {
+			if job == j.ID() {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// killGangMemberMidEpoch waits until every rank has streamed a checkpoint
+// and none has finished — the run is mid-epoch — then expires the last
+// generation member's lease.
+func killGangMemberMidEpoch(t *testing.T, c *Coordinator, j *Job) {
+	t.Helper()
+	waitFor(t, "all ranks mid-epoch with checkpoints", func() bool {
+		p := j.Remote()
+		return len(p.Workers) > 0 && len(p.CkptIters) >= j.Spec().P && len(p.DoneRanks) == 0
+	})
+	gang := j.Remote().Workers
+	if err := c.Revoke(gang[len(gang)-1]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoteShrinkRecovery: losing an executor mid-epoch re-gangs the
+// survivors from the streamed checkpoints — the dead worker's ranks resume
+// on a survivor — and still lands on the fault-free hash, with the lost
+// work α–β-priced.
+func TestRemoteShrinkRecovery(t *testing.T) {
+	spec := remoteSpec("shrink", 2, 240, "shrink")
+	want := referenceHash(t, spec)
+
+	c := newTestCoordinator(t, 500*time.Millisecond)
+	startExecutors(t, c, 2, time.Millisecond)
+	j, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "job running", func() bool { return j.State() == JobRunning })
+	killGangMemberMidEpoch(t, c, j)
+
+	select {
+	case <-j.Done():
+	case <-time.After(120 * time.Second):
+		t.Fatal("remote job never recovered")
+	}
+	res := j.Result()
+	if res.Err != "" {
+		t.Fatalf("remote job failed: %s", res.Err)
+	}
+	if res.ModelHash != want {
+		t.Fatalf("recovered hash %s != fault-free %s", res.ModelHash, want)
+	}
+	if res.Recoveries < 1 || res.Generations < 2 {
+		t.Fatalf("Recoveries=%d Generations=%d, want >=1 and >=2", res.Recoveries, res.Generations)
+	}
+	if res.FinalP != 2 {
+		t.Fatalf("FinalP=%d, want 2 (the model always carries P shards)", res.FinalP)
+	}
+	if len(res.LostRanks) == 0 {
+		t.Fatal("recovery recorded no lost ranks")
+	}
+	// The re-gang is priced: the relaunch penalty alone dominates the
+	// modeled compute on this dataset.
+	pr, _, _ := trainParams(spec)
+	if res.TotalSec < pr.Recovery.PenaltySec() {
+		t.Fatalf("TotalSec=%.4f carries no recovery penalty (>= %.2f)", res.TotalSec, pr.Recovery.PenaltySec())
+	}
+}
+
+// TestRemoteRespawnRecovery: under the respawn policy the job waits for a
+// replacement worker to backfill the gang to full width, then re-gangs —
+// and the replacement generation still converges to the fault-free hash.
+func TestRemoteRespawnRecovery(t *testing.T) {
+	spec := remoteSpec("respawn", 2, 240, "respawn")
+	want := referenceHash(t, spec)
+
+	c := newTestCoordinator(t, 500*time.Millisecond)
+	startExecutors(t, c, 2, time.Millisecond)
+	j, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "job running", func() bool { return j.State() == JobRunning })
+	killGangMemberMidEpoch(t, c, j)
+	waitFor(t, "gang degraded", func() bool { return len(j.Gang()) == 1 })
+
+	// The replacement executor backfills the fixed-width gang.
+	startExecutors(t, c, 1, time.Millisecond)
+	select {
+	case <-j.Done():
+	case <-time.After(120 * time.Second):
+		t.Fatal("respawn job never recovered")
+	}
+	res := j.Result()
+	if res.Err != "" {
+		t.Fatalf("respawn job failed: %s", res.Err)
+	}
+	if res.ModelHash != want {
+		t.Fatalf("respawned hash %s != fault-free %s", res.ModelHash, want)
+	}
+	if res.Recoveries < 1 || res.Generations < 2 {
+		t.Fatalf("Recoveries=%d Generations=%d, want >=1 and >=2", res.Recoveries, res.Generations)
+	}
+}
+
+// TestRemoteSpecValidation: remote execution is opt-in with hard
+// prerequisites — RA-CA only, a live recovery policy, and enough samples
+// to feed every rank.
+func TestRemoteSpecValidation(t *testing.T) {
+	c := newTestCoordinator(t, time.Second)
+	for name, spec := range map[string]JobSpec{
+		"non-raca method": {Mixture: testMixture(160), Method: string(core.MethodDisSMO), P: 2, Remote: true},
+		"recovery off":    {Mixture: testMixture(160), Method: string(core.MethodRACA), P: 2, Policy: "off", Remote: true},
+		"too few samples": {Mixture: testMixture(160), Method: string(core.MethodRACA), P: 4096, Remote: true},
+	} {
+		if _, err := c.Submit(spec); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestSubmitWithRetry: a coordinator that comes up after the first submit
+// attempts — a restart mid-submit — must not fail the thin client.
+func TestSubmitWithRetry(t *testing.T) {
+	// Reserve an address the late coordinator will bind.
+	probe, err := tcpmpi.NewRegistrar("localhost:0", tcpmpi.RegistrarConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr()
+	probe.Close()
+
+	var mu sync.Mutex
+	var coord *Coordinator
+	go func() {
+		time.Sleep(400 * time.Millisecond)
+		c, err := New(addr, Config{LeaseTTL: time.Second, Logf: t.Logf})
+		if err != nil {
+			t.Logf("late coordinator: %v", err)
+			return
+		}
+		mu.Lock()
+		coord = c
+		mu.Unlock()
+		startExecutors(t, c, 1, 0)
+	}()
+	t.Cleanup(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if coord != nil {
+			coord.Close()
+		}
+	})
+
+	spec := JobSpec{ID: "retry", Mixture: testMixture(160), Method: string(core.MethodRACA), P: 1, Seed: 7}
+	res, err := SubmitWithRetry(addr, spec, 120*time.Second, RetryConfig{
+		Attempts: 10, BaseDelay: 100 * time.Millisecond, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("SubmitWithRetry: %v", err)
+	}
+	if res.ModelHash == "" || res.Err != "" {
+		t.Fatalf("retry result %+v", res)
+	}
+
+	// A job-level failure is NOT retried: the coordinator answered, and a
+	// resubmission would double the work.
+	if _, err := SubmitWithRetry(addr, JobSpec{Method: "nope", P: 1, Dataset: "toy"},
+		30*time.Second, RetryConfig{Attempts: 3, BaseDelay: 50 * time.Millisecond}); err == nil {
+		t.Fatal("bogus method accepted")
+	} else if strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("job-level failure was retried: %v", err)
+	}
+}
+
+// TestRemoteExecutorHelper is the re-exec entry point for the real-process
+// tests: when CASVM_REMOTE_WORKER names a coordinator, this "test" is a
+// worker process serving remote executions until its lease ends (or it is
+// killed -9, which is the point).
+func TestRemoteExecutorHelper(t *testing.T) {
+	addr := os.Getenv("CASVM_REMOTE_WORKER")
+	if addr == "" {
+		t.Skip("re-exec helper for the kill -9 golden tests")
+	}
+	delay, _ := time.ParseDuration(os.Getenv("CASVM_EXEC_DELAY"))
+	err := RunExecutor(context.Background(), addr, ExecutorOptions{Fleet: true, IterDelay: delay})
+	t.Logf("executor lease ended: %v", err)
+}
+
+// spawnWorkerProcess forks this test binary as a real executor worker
+// process registered with the coordinator.
+func spawnWorkerProcess(t *testing.T, addr string, delay time.Duration) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "TestRemoteExecutorHelper$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"CASVM_REMOTE_WORKER="+addr,
+		"CASVM_EXEC_DELAY="+delay.String(),
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+		cmd.Wait()
+	})
+	return cmd
+}
+
+// TestRemoteKillGolden is the acceptance scenario for real rank executors:
+// a remote job runs on real worker processes, one dies mid-epoch, and both
+// recovery policies re-gang from the streamed checkpoints to the
+// fault-free ModelHash. The kill lands two ways — SIGKILL breaks the lease
+// connection (a leave-on-break), SIGSTOP leaves it open but silent, so
+// only the TTL failure detector can notice (a true lease expiry) — and
+// both must drive the same recovery. Runs under -race via the race matrix.
+func TestRemoteKillGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks real worker processes")
+	}
+	cases := []struct {
+		name, policy string
+		stall        bool // SIGSTOP instead of SIGKILL
+	}{
+		{"shrink", "shrink", false},
+		{"respawn", "respawn", false},
+		{"shrink-stall", "shrink", true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			spec := remoteSpec("kill-"+tc.name, 2, 240, tc.policy)
+			want := referenceHash(t, spec)
+
+			c := newTestCoordinator(t, 500*time.Millisecond)
+			spawnWorkerProcess(t, c.Addr(), 5*time.Millisecond)
+			victim := spawnWorkerProcess(t, c.Addr(), 5*time.Millisecond)
+			waitFor(t, "worker processes registered", func() bool { return len(c.Workers()) == 2 })
+
+			j, err := c.Submit(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			waitFor(t, "all ranks mid-epoch with checkpoints", func() bool {
+				p := j.Remote()
+				return len(p.CkptIters) >= 2 && len(p.DoneRanks) == 0
+			})
+			if tc.stall {
+				// The process freezes with its connection open: only the
+				// TTL failure detector can declare it dead.
+				if err := victim.Process.Signal(syscall.SIGSTOP); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				// SIGKILL: no cleanup, no goodbye — the OS tears the
+				// lease connection down with the process.
+				if err := victim.Process.Kill(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if tc.policy == "respawn" {
+				// Respawn holds the gang at full width; a replacement
+				// process must backfill before the next generation.
+				waitFor(t, "gang degraded", func() bool { return len(j.Gang()) == 1 })
+				spawnWorkerProcess(t, c.Addr(), 5*time.Millisecond)
+			}
+
+			select {
+			case <-j.Done():
+			case <-time.After(180 * time.Second):
+				t.Fatalf("job never recovered from worker death (progress %+v)", j.Remote())
+			}
+			res := j.Result()
+			if res.Err != "" {
+				t.Fatalf("job failed after worker death: %s", res.Err)
+			}
+			if res.ModelHash != want {
+				t.Fatalf("post-kill hash %s != fault-free %s", res.ModelHash, want)
+			}
+			if res.Recoveries < 1 || res.Generations < 2 {
+				t.Fatalf("Recoveries=%d Generations=%d, want >=1 and >=2",
+					res.Recoveries, res.Generations)
+			}
+			snap := c.Metrics().Snapshot()
+			if tc.stall {
+				if snap["cluster_lease_expiries_total"] < 1 {
+					t.Fatalf("cluster_lease_expiries_total=%v; the stall never expired the lease",
+						snap["cluster_lease_expiries_total"])
+				}
+			} else if snap["cluster_lease_expiries_total"]+snap["cluster_worker_leaves_total"] < 1 {
+				t.Fatal("the kill never surfaced in the membership ledger")
+			}
+			t.Logf("%s: worker death recovered over %d generations (recoveries=%d lost=%v virt=%.4fs) to %s",
+				tc.name, res.Generations, res.Recoveries, res.LostRanks, res.TotalSec, res.ModelHash[:12])
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"casvm/internal/tcpmpi"
@@ -19,10 +20,16 @@ const (
 )
 
 // onFrame handles control frames from lease holders: clients submit jobs,
-// and workers stream fleet telemetry (spans, metrics, epoch reports) in
-// the 120–129 tag block.
+// executors stream remote-execution frames (mesh addresses, checkpoints,
+// finished shards) in the 103–109 block, and workers stream fleet
+// telemetry (spans, metrics, epoch reports) in the 120–129 block.
 func (c *Coordinator) onFrame(w tcpmpi.WorkerInfo, tag int, payload []byte) {
 	if c.fleet.HandleFrame(w, tag, payload) {
+		return
+	}
+	switch tag {
+	case tagExecMeshAddr, tagExecCkpt, tagExecRankDone, tagExecFail:
+		c.onExecFrame(w, tag, payload)
 		return
 	}
 	if tag != tagSubmit {
@@ -85,6 +92,71 @@ func SubmitAndWait(addr string, spec JobSpec, timeout time.Duration) (*JobResult
 		return &res, errors.New(res.Err)
 	}
 	return &res, nil
+}
+
+// RetryConfig tunes SubmitWithRetry's capped exponential backoff.
+type RetryConfig struct {
+	// Attempts bounds registration/submission tries (0 = 5).
+	Attempts int
+	// BaseDelay is the first backoff (0 = 100ms); each retry doubles it
+	// up to MaxDelay (0 = 2s), with up to 50% uniform jitter on top so
+	// simultaneous clients do not re-dial in lockstep.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Jitter draws the backoff perturbation (nil = seeded from the
+	// clock; tests inject a deterministic source).
+	Jitter *rand.Rand
+	// Logf receives one line per failed attempt (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (r RetryConfig) withDefaults() RetryConfig {
+	if r.Attempts == 0 {
+		r.Attempts = 5
+	}
+	if r.BaseDelay == 0 {
+		r.BaseDelay = 100 * time.Millisecond
+	}
+	if r.MaxDelay == 0 {
+		r.MaxDelay = 2 * time.Second
+	}
+	if r.Jitter == nil {
+		r.Jitter = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return r
+}
+
+// SubmitWithRetry is SubmitAndWait hardened against a coordinator that is
+// restarting: registration refusals and submit-side transport errors are
+// retried with capped exponential backoff plus jitter. A result frame that
+// reports a *job* failure is returned immediately — the coordinator
+// answered; retrying would double-submit the work.
+func SubmitWithRetry(addr string, spec JobSpec, timeout time.Duration, rc RetryConfig) (*JobResult, error) {
+	rc = rc.withDefaults()
+	var lastErr error
+	delay := rc.BaseDelay
+	for attempt := 1; attempt <= rc.Attempts; attempt++ {
+		res, err := SubmitAndWait(addr, spec, timeout)
+		if err == nil || res != nil {
+			// res != nil means the coordinator answered: the job ran and
+			// failed, which no amount of resubmission fixes.
+			return res, err
+		}
+		lastErr = err
+		if attempt == rc.Attempts {
+			break
+		}
+		sleep := delay + time.Duration(rc.Jitter.Int63n(int64(delay)/2+1))
+		if rc.Logf != nil {
+			rc.Logf("cluster: submit attempt %d/%d failed (%v); retrying in %v",
+				attempt, rc.Attempts, err, sleep)
+		}
+		time.Sleep(sleep)
+		if delay *= 2; delay > rc.MaxDelay {
+			delay = rc.MaxDelay
+		}
+	}
+	return nil, fmt.Errorf("cluster: submit to %s failed after %d attempts: %w", addr, rc.Attempts, lastErr)
 }
 
 // JoinWorker registers with the coordinator at addr as a worker and blocks

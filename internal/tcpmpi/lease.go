@@ -643,6 +643,41 @@ func (l *Lease) Recv(tag int, timeout time.Duration) ([]byte, error) {
 	}
 }
 
+// RecvAny blocks until a control frame carrying any of the given tags
+// arrives and returns it with its tag, preserving per-tag FIFO order. When
+// frames with several of the tags are queued, the earliest-listed tag wins.
+// A zero timeout means no timeout; the lease ending unblocks the call with
+// the lease's terminal error. Executor loops use it to multiplex a small
+// command vocabulary over one lease without a goroutine per tag.
+func (l *Lease) RecvAny(tags []int, timeout time.Duration) (int, []byte, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		timer := time.AfterFunc(timeout, l.cond.Broadcast)
+		defer timer.Stop()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		for _, tag := range tags {
+			if q := l.queues[tag]; len(q) > 0 {
+				b := q[0]
+				l.queues[tag] = q[1:]
+				return tag, b, nil
+			}
+		}
+		select {
+		case <-l.done:
+			return 0, nil, l.closed
+		default:
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return 0, nil, fmt.Errorf("tcpmpi: lease recv tags %v: timeout after %v", tags, timeout)
+		}
+		l.cond.Wait()
+	}
+}
+
 func (l *Lease) heartbeatLoop(interval time.Duration) {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()

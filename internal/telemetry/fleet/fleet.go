@@ -210,6 +210,13 @@ func (c *Collector) onHello(workerID int, h Hello) {
 		c.mu.Unlock()
 		return
 	}
+	// A re-gang can move a rank to a different worker process mid-job
+	// (remote execution recovers dead workers' ranks onto survivors or
+	// respawns). The stored clock offset belongs to the previous process's
+	// clock, so a hello from a new worker must re-probe — otherwise every
+	// span the new worker ships would be rebased with a dead worker's
+	// offset in the merged trace.
+	rebound := rs.probeStarted && rs.workerID != workerID
 	rs.workerID = workerID
 	if j := c.jobs[h.Job]; h.P > j.p {
 		j.p = h.P
@@ -221,9 +228,15 @@ func (c *Collector) onHello(workerID int, h Hello) {
 			return reg.ProbeClock(id, n, 3*time.Second)
 		}
 	}
-	if rs.probeStarted {
+	if rs.probeStarted && !rebound {
 		c.mu.Unlock()
 		return
+	}
+	if rebound {
+		// Earlier merge snapshots hold the old (already closed) probeDone;
+		// snapshots taken from here on wait for the fresh probe.
+		rs.probed = false
+		rs.probeDone = make(chan struct{})
 	}
 	rs.probeStarted = true
 	doneCh := rs.probeDone

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -610,5 +611,49 @@ func TestFleetOverRealLeases(t *testing.T) {
 		if off < -int64(time.Second) || off > int64(time.Second) {
 			t.Fatalf("rank %d same-host offset %v", r, time.Duration(off))
 		}
+	}
+}
+
+// TestReHelloReprobesNewWorker covers telemetry merging across gang
+// generations: when a re-gang moves a rank to a different worker process,
+// the rank re-hellos from a new lease, and the collector must probe the
+// new process's clock instead of rebasing its spans with the dead
+// worker's offset. A duplicate hello from the same worker must not
+// re-probe.
+func TestReHelloReprobesNewWorker(t *testing.T) {
+	offsets := map[int]int64{1: 1000, 2: 777_000}
+	var probes atomic.Int64
+	c := New(Config{
+		Metrics: trace.NewRegistry(),
+		Probe: func(workerID int) (tcpmpi.ClockEstimate, error) {
+			probes.Add(1)
+			return tcpmpi.ClockEstimate{OffsetNs: offsets[workerID], RTTNs: 10, Samples: 3}, nil
+		},
+	})
+	rankOffset := func() (int64, bool) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		rs := c.jobs["j"].ranks[0]
+		return rs.offsetNs, rs.probed
+	}
+
+	// Generation 1: rank 0 lives on worker 1.
+	frame(t, c, 1, TagHello, Hello{Job: "j", Rank: 0, P: 2})
+	waitUntil(t, "worker 1 probed", func() bool { _, ok := rankOffset(); return ok })
+	if off, _ := rankOffset(); off != 1000 {
+		t.Fatalf("offset %d after first hello, want worker 1's 1000", off)
+	}
+	// A duplicate hello (same worker, e.g. the next rank's reporter on a
+	// shared lease) leaves the settled probe alone.
+	frame(t, c, 1, TagHello, Hello{Job: "j", Rank: 0, P: 2})
+	if n := probes.Load(); n != 1 {
+		t.Fatalf("%d probes after duplicate hello, want 1", n)
+	}
+
+	// Generation 2: the re-gang moved rank 0 to worker 2.
+	frame(t, c, 2, TagHello, Hello{Job: "j", Rank: 0, P: 2})
+	waitUntil(t, "worker 2 probed", func() bool { off, ok := rankOffset(); return ok && off == 777_000 })
+	if n := probes.Load(); n != 2 {
+		t.Fatalf("%d probes after re-gang hello, want 2", n)
 	}
 }
