@@ -94,6 +94,7 @@ type Coordinator struct {
 	owner   map[int]*Job              // worker id -> job holding it
 	jobs    []*Job                    // submission order
 	byID    map[string]*Job
+	byKey   map[string]*Job // client idempotency key -> accepted job
 	queue   []*Job // jobs waiting for a gang, FIFO
 	nextJob int
 	closed  bool
@@ -118,6 +119,7 @@ func New(addr string, cfg Config) (*Coordinator, error) {
 		workers: map[int]tcpmpi.WorkerInfo{},
 		owner:   map[int]*Job{},
 		byID:    map[string]*Job{},
+		byKey:   map[string]*Job{},
 
 		cJoins:     met.Counter("cluster_worker_joins_total", "workers that registered and received a rank lease"),
 		cLeaves:    met.Counter("cluster_worker_leaves_total", "workers that closed their lease cleanly"),
@@ -232,6 +234,12 @@ func (c *Coordinator) Job(id string) (*Job, bool) {
 
 // Submit validates and enqueues a training job. The job starts as soon as
 // a gang of spec.P workers is free; Job.Done signals completion.
+//
+// Submission is idempotent under spec.SubmitKey: a key the coordinator
+// has already accepted returns the existing job — queued, running, or
+// finished — instead of enqueueing a duplicate, so a client that lost its
+// connection after the submit frame landed can safely resubmit and
+// reattach to the in-flight work.
 func (c *Coordinator) Submit(spec JobSpec) (*Job, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
@@ -240,6 +248,12 @@ func (c *Coordinator) Submit(spec JobSpec) (*Job, error) {
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil, fmt.Errorf("cluster: coordinator is closed")
+	}
+	if spec.SubmitKey != "" {
+		if j := c.byKey[spec.SubmitKey]; j != nil {
+			c.logf("cluster: job %s resubmitted (key %q); attaching to the accepted job", j.id, spec.SubmitKey)
+			return j, nil
+		}
 	}
 	c.nextJob++
 	id := fmt.Sprintf("job-%d", c.nextJob)
@@ -261,6 +275,9 @@ func (c *Coordinator) Submit(spec JobSpec) (*Job, error) {
 	}
 	c.jobs = append(c.jobs, j)
 	c.byID[id] = j
+	if spec.SubmitKey != "" {
+		c.byKey[spec.SubmitKey] = j
+	}
 	c.queue = append(c.queue, j)
 	c.cSubmitted.Inc()
 	c.gQueued.Set(float64(len(c.queue)))

@@ -357,6 +357,56 @@ func TestUnsupervisedExpiryFailsJob(t *testing.T) {
 }
 
 // TestSubmitValidation: broken specs are rejected at submission.
+// TestSubmitIdempotencyKey: a resubmission carrying a SubmitKey the
+// coordinator already accepted attaches to the existing job instead of
+// double-running the work — the guarantee SubmitWithRetry leans on when a
+// transport error lands after the submit frame was delivered.
+func TestSubmitIdempotencyKey(t *testing.T) {
+	c := newTestCoordinator(t, time.Second)
+	spec := JobSpec{
+		ID: "idem", Mixture: testMixture(160), Method: string(core.MethodDisSMO),
+		P: 2, Seed: 1, SubmitKey: "client-key-1",
+	}
+	j1, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1 != j2 {
+		t.Fatalf("resubmission with key %q started a second job (%s vs %s)",
+			spec.SubmitKey, j1.ID(), j2.ID())
+	}
+	if got := c.Metrics().Snapshot()["cluster_jobs_submitted_total"]; got != 1 {
+		t.Fatalf("cluster_jobs_submitted_total=%v after a deduplicated resubmit, want 1", got)
+	}
+
+	// A different key — and no key at all — still means a new job.
+	spec.SubmitKey = "client-key-2"
+	j3, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3 == j1 {
+		t.Fatal("distinct keys deduplicated")
+	}
+	spec.SubmitKey = ""
+	j4, _ := c.Submit(spec)
+	j5, _ := c.Submit(spec)
+	if j4 == j5 {
+		t.Fatal("keyless submissions deduplicated")
+	}
+
+	// The key crosses the trust boundary in the spec; unbounded keys are
+	// rejected before they reach the dedup table.
+	spec.SubmitKey = strings.Repeat("k", 129)
+	if _, err := c.Submit(spec); err == nil {
+		t.Fatal("oversize submit key accepted")
+	}
+}
+
 func TestSubmitValidation(t *testing.T) {
 	c := newTestCoordinator(t, time.Second)
 	for _, spec := range []JobSpec{

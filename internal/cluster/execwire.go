@@ -36,10 +36,11 @@ const (
 // execLimits bound structurally unbounded fields so a hostile frame cannot
 // make the decoder allocate past the payload it paid for.
 const (
-	maxExecGangWidth = 4096    // peer-table and rank-list entries
-	maxExecSamples   = 1 << 22 // inline mixture train+test rows
-	maxExecFeatures  = 1 << 14
-	maxExecCenter    = 1 << 20 // routing-center floats in a rank-done frame
+	maxExecGangWidth  = 4096    // peer-table and rank-list entries
+	maxExecSamples    = 1 << 22 // inline mixture train+test rows
+	maxExecFeatures   = 1 << 14
+	maxExecCenter     = 1 << 20 // routing-center floats in a rank-done frame
+	maxExecModelBytes = 1 << 26 // serialized shard-model set in a rank-done frame
 )
 
 // execPrepare opens a generation: the worker reserves a TCP port for its
@@ -268,8 +269,8 @@ func decodeExecRankDone(b []byte) (execRankDone, error) {
 	if m.Iters < 0 || m.SVs < 0 || m.VirtSec < 0 {
 		return m, fmt.Errorf("cluster: rank-done frame with negative stats")
 	}
-	if len(m.Model) == 0 {
-		return m, fmt.Errorf("cluster: rank-done frame carries no model")
+	if len(m.Model) == 0 || len(m.Model) > maxExecModelBytes {
+		return m, fmt.Errorf("cluster: rank-done frame model of %d bytes out of range", len(m.Model))
 	}
 	if len(m.Center) < 1 || len(m.Center) > maxExecCenter {
 		return m, fmt.Errorf("cluster: rank-done frame center of %d out of range", len(m.Center))

@@ -167,3 +167,19 @@ func TestExecFrameRoundTrips(t *testing.T) {
 		t.Fatalf("fail round-trip: %+v, %v", got, err)
 	}
 }
+
+// TestRankDoneModelBound: the rank-done decoder caps the model payload —
+// an unauthenticated lease must not be able to drive coordinator
+// allocations up to the transport's 1GB frame ceiling.
+func TestRankDoneModelBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates a >64MB frame")
+	}
+	big := execRankDone{
+		Job: "rt", Gen: 1, Rank: 0, Iters: 1, SVs: 1,
+		Model: make([]byte, maxExecModelBytes+1), Center: []float64{1},
+	}
+	if _, err := decodeExecRankDone(marshalExec(big)); err == nil {
+		t.Fatal("rank-done frame with an oversize model accepted")
+	}
+}

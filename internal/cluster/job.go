@@ -18,6 +18,14 @@ type JobSpec struct {
 	// ID labels the job; the coordinator suffixes it for uniqueness.
 	ID string `json:"id,omitempty"`
 
+	// SubmitKey is a client-chosen idempotency key: a resubmission
+	// carrying a key the coordinator has already accepted attaches to the
+	// existing job instead of starting a second run. Retrying clients
+	// (SubmitWithRetry) use it so a transport failure after the submit
+	// frame landed cannot double-run the work. "" = every submit is a new
+	// job.
+	SubmitKey string `json:"submit_key,omitempty"`
+
 	// Dataset names a registered synthetic dataset (data.Names), scaled
 	// by Scale (0 = 1.0). Mixture, when set, wins over Dataset and
 	// generates a custom synthetic set instead.
@@ -68,6 +76,9 @@ func (s JobSpec) validate() error {
 	}
 	if s.P < 1 {
 		return fmt.Errorf("cluster: job needs p >= 1, got %d", s.P)
+	}
+	if len(s.SubmitKey) > 128 {
+		return fmt.Errorf("cluster: submit key of %d bytes out of range", len(s.SubmitKey))
 	}
 	if s.Policy != "" {
 		if _, err := core.ParseRecoveryPolicy(s.Policy); err != nil {

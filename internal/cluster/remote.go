@@ -284,20 +284,23 @@ func (c *Coordinator) onExecFrame(w tcpmpi.WorkerInfo, tag int, payload []byte) 
 			c.logf("cluster: lease %d: %v", w.ID, err)
 			return
 		}
+		// Ownership first: only a lease the named job actually holds gets
+		// to spend coordinator cycles parsing model bytes.
+		rr := ident(m.Job)
+		if rr == nil {
+			return
+		}
 		set, err := model.LoadSet(bytes.NewReader(m.Model))
 		if err != nil || len(set.Models) != 1 {
 			c.logf("cluster: lease %d: rank-done model rejected: %v", w.ID, err)
 			return
 		}
-		sh := &core.ShardResult{
+		rr.onRankDone(m, &core.ShardResult{
 			Model:  set.Models[0],
 			Center: m.Center,
 			Iters:  m.Iters,
 			SVs:    m.SVs,
-		}
-		if rr := ident(m.Job); rr != nil {
-			rr.onRankDone(m, sh)
-		}
+		})
 	case tagExecFail:
 		m, err := decodeExecFail(payload)
 		if err != nil {
@@ -349,23 +352,35 @@ func (c *Coordinator) awaitRemoteGang(j *Job) ([]int, error) {
 // beginGeneration opens generation state for the given gang and assigns
 // every pending shard rank round-robin over it (one rank per worker at
 // full width; survivors absorb a dead worker's ranks after a shrink).
-func (rr *remoteRun) beginGeneration(gang []int) (gen int, assign map[int][]int, pending []int) {
+//
+// A generation never gangs more workers than it has pending ranks: a
+// zero-rank member would have nothing to execute, yet the mesh bootstrap
+// waits on an address from every generation member — so surplus workers
+// (respawn backfill after some ranks finished, spares attached
+// post-shrink) would stall every dispatch into a timeout and burn the
+// recovery budget on healthy workers. The returned gang is the truncated
+// one the generation actually runs on; extra workers stay attached to the
+// job and join the next generation that needs them.
+func (rr *remoteRun) beginGeneration(gang []int) (gen int, genGang []int, assign map[int][]int, pending []int) {
 	rr.mu.Lock()
 	defer rr.mu.Unlock()
 	rr.gen++
 	rr.genActive = true
 	rr.genBase = rr.base
+	pending = rr.pendingRanksLocked()
+	if len(pending) > 0 && len(gang) > len(pending) {
+		gang = gang[:len(pending)]
+	}
 	rr.genWorkers = append([]int(nil), gang...)
 	rr.assign = map[int][]int{}
 	rr.meshAddr = map[int]string{}
 	rr.lost = false
 	rr.soft = ""
-	pending = rr.pendingRanksLocked()
 	for i, r := range pending {
 		id := gang[i%len(gang)]
 		rr.assign[id] = append(rr.assign[id], r)
 	}
-	return rr.gen, rr.assign, pending
+	return rr.gen, rr.genWorkers, rr.assign, pending
 }
 
 // endGeneration closes the active generation's bookkeeping.
@@ -416,7 +431,9 @@ func (c *Coordinator) dispatchGeneration(j *Job, gang []int, gen int, every int)
 		}
 		rr.mu.Lock()
 		if rr.events == seen && !rr.closed {
-			t := time.AfterFunc(200*time.Millisecond, rr.cond.Broadcast)
+			// kick (not a bare Broadcast) so the wakeup cannot land in the
+			// window before this waiter parks and be lost.
+			t := time.AfterFunc(200*time.Millisecond, rr.kick)
 			rr.cond.Wait()
 			t.Stop()
 		}
@@ -562,7 +579,7 @@ supervise:
 			fail("%v", err)
 			break
 		}
-		gen, assign, pending := rr.beginGeneration(gang)
+		gen, genGang, assign, pending := rr.beginGeneration(gang)
 		if len(pending) == 0 {
 			rr.endGeneration()
 			break // every shard already delivered by an earlier generation
@@ -570,9 +587,9 @@ supervise:
 		c.met.Counter("cluster_remote_generations_total",
 			"remote-execution generations dispatched (first launches and re-gangs)").Inc()
 		c.logf("cluster: job %s gen %d on workers %v (pending ranks %v, assignment %v)",
-			j.id, gen, gang, pending, assign)
+			j.id, gen, genGang, pending, assign)
 		outcome := genLost
-		if err := c.dispatchGeneration(j, gang, gen, every); err == nil {
+		if err := c.dispatchGeneration(j, genGang, gen, every); err == nil {
 			outcome = c.awaitGeneration(j)
 		}
 		rr.endGeneration()

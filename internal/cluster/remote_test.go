@@ -209,6 +209,98 @@ func TestRemoteRespawnRecovery(t *testing.T) {
 	}
 }
 
+// TestBeginGenerationCapsSurplusGang: a generation never gangs more
+// workers than it has pending ranks. With surplus workers (respawn
+// backfill after ranks finished, spares attached post-shrink) the mesh
+// bootstrap would otherwise wait forever on addresses from members that
+// were assigned nothing, burning the recovery budget on healthy workers.
+func TestBeginGenerationCapsSurplusGang(t *testing.T) {
+	j := &Job{spec: JobSpec{P: 3}}
+	rr := newRemoteRun(j)
+	rr.doneRank[0] = &core.ShardResult{}
+	rr.doneRank[2] = &core.ShardResult{}
+
+	gen, gang, assign, pending := rr.beginGeneration([]int{7, 8, 9})
+	if len(pending) != 1 || pending[0] != 1 {
+		t.Fatalf("pending = %v, want [1]", pending)
+	}
+	if len(gang) != 1 || gang[0] != 7 {
+		t.Fatalf("generation gang = %v, want [7] (capped at pending ranks)", gang)
+	}
+	if len(assign) != 1 || len(assign[7]) != 1 || assign[7][0] != 1 {
+		t.Fatalf("assignment = %v, want worker 7 -> [1]", assign)
+	}
+	// A surplus worker's mesh address is not expected — and not recorded.
+	rr.onMeshAddr(9, execMeshAddr{Job: j.id, Gen: gen, Addr: "127.0.0.1:1"})
+	rr.onMeshAddr(7, execMeshAddr{Job: j.id, Gen: gen, Addr: "127.0.0.1:2"})
+	rr.mu.Lock()
+	got := len(rr.meshAddr)
+	rr.mu.Unlock()
+	if got != 1 {
+		t.Fatalf("meshAddr holds %d entries, want 1 (assigned workers only)", got)
+	}
+	rr.endGeneration()
+
+	// At full width nothing is truncated: one rank per worker.
+	rr2 := newRemoteRun(&Job{spec: JobSpec{P: 3}})
+	_, gang2, assign2, _ := rr2.beginGeneration([]int{4, 5, 6})
+	if len(gang2) != 3 || len(assign2) != 3 {
+		t.Fatalf("full-width generation truncated: gang %v assign %v", gang2, assign2)
+	}
+}
+
+// TestRemoteSurplusBackfillRecovers: respawn backfill after a rank already
+// finished hands the next generation more workers than pending ranks. The
+// generation must run on the truncated gang and land on the fault-free
+// hash instead of timing out the mesh bootstrap until the recovery budget
+// is exhausted.
+func TestRemoteSurplusBackfillRecovers(t *testing.T) {
+	spec := remoteSpec("surplus", 2, 240, "respawn")
+	want := referenceHash(t, spec)
+
+	c := newTestCoordinator(t, 500*time.Millisecond)
+	// Asymmetric speeds: the fast worker finishes rank 0 while the slow
+	// one is still mid-epoch on rank 1, so killing the slow worker leaves
+	// exactly one pending rank for a full-width replacement gang.
+	startExecutors(t, c, 1, 0)
+	startExecutors(t, c, 1, 3*time.Millisecond)
+	waitFor(t, "both executors registered", func() bool { return len(c.Workers()) == 2 })
+
+	j, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "rank 0 done, rank 1 mid-epoch with a checkpoint", func() bool {
+		p := j.Remote()
+		return len(p.DoneRanks) == 1 && p.DoneRanks[0] == 0 && p.CkptIters[1] > 0
+	})
+	gang := j.Remote().Workers
+	if err := c.Revoke(gang[1]); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "gang degraded", func() bool { return len(j.Gang()) == 1 })
+
+	// The replacement restores full width: 2 workers, 1 pending rank.
+	startExecutors(t, c, 1, 0)
+	waitFor(t, "gang backfilled", func() bool { return len(j.Gang()) == 2 })
+
+	select {
+	case <-j.Done():
+	case <-time.After(120 * time.Second):
+		t.Fatalf("surplus-gang job never finished (progress %+v)", j.Remote())
+	}
+	res := j.Result()
+	if res.Err != "" {
+		t.Fatalf("surplus-gang job failed: %s", res.Err)
+	}
+	if res.ModelHash != want {
+		t.Fatalf("surplus-gang hash %s != fault-free %s", res.ModelHash, want)
+	}
+	if res.Recoveries != 1 {
+		t.Fatalf("Recoveries=%d, want 1 (the revocation only)", res.Recoveries)
+	}
+}
+
 // TestRemoteSpecValidation: remote execution is opt-in with hard
 // prerequisites — RA-CA only, a live recovery policy, and enough samples
 // to feed every rank.

@@ -127,12 +127,20 @@ func (r RetryConfig) withDefaults() RetryConfig {
 }
 
 // SubmitWithRetry is SubmitAndWait hardened against a coordinator that is
-// restarting: registration refusals and submit-side transport errors are
-// retried with capped exponential backoff plus jitter. A result frame that
-// reports a *job* failure is returned immediately — the coordinator
-// answered; retrying would double-submit the work.
+// restarting: registration refusals and transport errors are retried with
+// capped exponential backoff plus jitter. A result frame that reports a
+// *job* failure is returned immediately — the coordinator answered;
+// retrying would rerun a run that already failed on its merits.
+//
+// Every attempt carries the same idempotency key (spec.SubmitKey, drawn
+// from rc.Jitter when the caller left it empty), so a retry after the
+// submit frame landed — the coordinator may still be running the first
+// job — reattaches to the in-flight job instead of double-running it.
 func SubmitWithRetry(addr string, spec JobSpec, timeout time.Duration, rc RetryConfig) (*JobResult, error) {
 	rc = rc.withDefaults()
+	if spec.SubmitKey == "" {
+		spec.SubmitKey = fmt.Sprintf("retry-%016x%016x", rc.Jitter.Uint64(), rc.Jitter.Uint64())
+	}
 	var lastErr error
 	delay := rc.BaseDelay
 	for attempt := 1; attempt <= rc.Attempts; attempt++ {

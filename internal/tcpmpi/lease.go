@@ -614,13 +614,24 @@ func (l *Lease) Send(tag int, payload []byte) error {
 	return writeLeaseFrame(l.conn, tag, payload, l.ttl)
 }
 
+// timeoutBroadcast wakes Recv/RecvAny waiters when their deadline timer
+// fires. It broadcasts under l.mu: a bare Broadcast could land between a
+// waiter's deadline check and its cond.Wait — a lost wakeup that leaves
+// the call blocked past its timeout until unrelated traffic arrives.
+// Holding the mutex forces the timer to wait until the waiter is parked.
+func (l *Lease) timeoutBroadcast() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
 // Recv blocks until a control frame with the given tag arrives, the lease
 // ends, or the timeout (0 = no timeout) expires.
 func (l *Lease) Recv(tag int, timeout time.Duration) ([]byte, error) {
 	var deadline time.Time
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
-		timer := time.AfterFunc(timeout, l.cond.Broadcast)
+		timer := time.AfterFunc(timeout, l.timeoutBroadcast)
 		defer timer.Stop()
 	}
 	l.mu.Lock()
@@ -653,7 +664,7 @@ func (l *Lease) RecvAny(tags []int, timeout time.Duration) (int, []byte, error) 
 	var deadline time.Time
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
-		timer := time.AfterFunc(timeout, l.cond.Broadcast)
+		timer := time.AfterFunc(timeout, l.timeoutBroadcast)
 		defer timer.Stop()
 	}
 	l.mu.Lock()

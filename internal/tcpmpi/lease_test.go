@@ -120,6 +120,38 @@ func TestLeaseLifecycle(t *testing.T) {
 	}
 }
 
+// TestRecvTimeoutOnQuietLease: Recv and RecvAny must honor their timeout
+// with no other traffic on the lease — the deadline timer alone wakes the
+// waiter. Regression for a lost wakeup: the timer's broadcast used to run
+// without l.mu and could land between a waiter's deadline check and its
+// park, leaving the call blocked until unrelated frames arrived.
+func TestRecvTimeoutOnQuietLease(t *testing.T) {
+	ev := &leaseEvents{}
+	reg, err := NewRegistrar("localhost:0", ev.config(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	l, err := Register(reg.Addr(), RegisterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	for i := 0; i < 20; i++ {
+		start := time.Now()
+		if _, err := l.Recv(42, 20*time.Millisecond); err == nil {
+			t.Fatal("Recv on a quiet lease returned a frame")
+		}
+		if _, _, err := l.RecvAny([]int{42, 43}, 20*time.Millisecond); err == nil {
+			t.Fatal("RecvAny on a quiet lease returned a frame")
+		}
+		if el := time.Since(start); el > 5*time.Second {
+			t.Fatalf("timeouts took %v; a deadline wakeup was lost", el)
+		}
+	}
+}
+
 // TestLeaseExpiry: a worker that stops heartbeating (simulated by a raw
 // registration that never sends frames) expires within the TTL and is
 // reported as an expiry, not a leave.

@@ -36,8 +36,9 @@ func dialPair(t *testing.T, addrs []string, opt0, opt1 Options) (*Comm, *Comm) {
 // TestResumeReplayExactlyOnce: a frame written into a severed connection is
 // redelivered by the reconnect's resume handshake — and only once. The
 // listener is taken down first so the outage window is deterministic, the
-// send happens with retries disabled (replay is the only redelivery path),
-// and the receiver's sequence state proves exactly-once delivery.
+// lost frame is placed in the replay ring exactly as a buffered-then-severed
+// write would leave it (replay is the only redelivery path; retries are
+// disabled), and the receiver's sequence state proves exactly-once delivery.
 func TestResumeReplayExactlyOnce(t *testing.T) {
 	addrs := freeAddrs(t, 2)
 	reg := trace.NewRegistry()
@@ -70,9 +71,18 @@ func TestResumeReplayExactlyOnce(t *testing.T) {
 	p01.conn.Close()
 	p01.mu.Unlock()
 
-	// This frame is lost in the sever (or fails outright); either way it
-	// lands in rank 1's replay ring.
-	c1.Send(0, 6, []byte("lost"))
+	// A frame that was reported sent but died on the severed wire: place
+	// it straight into rank 1's replay ring under the next sequence
+	// number. A real Send into the sever reaches this state only when its
+	// write lands in the kernel buffer before the read loop notices the
+	// break — a timing race the test cannot force — so the state is
+	// constructed directly. (The other outcome, a synchronous failure,
+	// scrubs the frame instead; TestFailedSendScrub pins that half.)
+	p10 := c1.peers[0]
+	p10.sendMu.Lock()
+	p10.sendSeq++
+	p10.remember(sentFrame{seq: p10.sendSeq, tag: 6, data: []byte("lost")}, c1.opt.ReplayWindow)
+	p10.sendMu.Unlock()
 
 	time.Sleep(150 * time.Millisecond) // let a few reconnect dials fail
 
@@ -84,7 +94,7 @@ func TestResumeReplayExactlyOnce(t *testing.T) {
 	go c0.acceptLoop(ln)
 
 	// Post-recovery traffic; retries are off, so poll until the fresh
-	// connection is installed.
+	// connection is installed and its resume replay has drained.
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		if err := c1.Send(0, 7, []byte("after")); err == nil {
@@ -132,7 +142,7 @@ func TestResumeReplayExactlyOnce(t *testing.T) {
 	recvSeq := p01.recvSeq
 	p01.mu.Unlock()
 	if recvSeq < 3 {
-		t.Fatalf("receiver watermark %d, want ≥ 3 (three delivered frames)", recvSeq)
+		t.Fatalf("receiver watermark %d, want ≥ 3 (at least before/lost/after)", recvSeq)
 	}
 
 	snap := reg.Snapshot()
@@ -147,6 +157,35 @@ func TestResumeReplayExactlyOnce(t *testing.T) {
 	}
 	if snap["tcpmpi_reconnects_total"] < 1 {
 		t.Fatal("no successful reconnect counted")
+	}
+}
+
+// TestFailedSendScrub: finishSend is the exactly-once pivot — a send about
+// to report failure either learns that a resume handshake already delivered
+// its frame (success after all, frame retained) or scrubs the frame from
+// the replay ring so no later reconnect can deliver a message the caller
+// was told had failed.
+func TestFailedSendScrub(t *testing.T) {
+	c := &Comm{}
+	p := &peer{}
+	p.remember(sentFrame{seq: 1, tag: 5, data: []byte("a")}, 8)
+	p.remember(sentFrame{seq: 2, tag: 5, data: []byte("b")}, 8)
+
+	if c.finishSend(p, 2) {
+		t.Fatal("unreplayed frame reported as delivered")
+	}
+	if frames := p.unacked(0); len(frames) != 1 || frames[0].seq != 1 {
+		t.Fatalf("ring after scrub: %+v, want only seq 1", frames)
+	}
+
+	p.sendMu.Lock()
+	p.replayedSeq = 1
+	p.sendMu.Unlock()
+	if !c.finishSend(p, 1) {
+		t.Fatal("replayed frame not recognized as delivered")
+	}
+	if frames := p.unacked(0); len(frames) != 1 || frames[0].seq != 1 {
+		t.Fatalf("replayed frame scrubbed from ring: %+v", frames)
 	}
 }
 

@@ -227,12 +227,13 @@ type sentFrame struct {
 
 // peer is the connection state for one remote rank.
 type peer struct {
-	mu       sync.Mutex
-	conn     net.Conn // nil until connected
-	gen      int      // bumped on every (re)connection
-	broken   bool     // current conn failed; recovery pending or done
-	lastSeen time.Time
-	recvSeq  uint32 // highest data seq received (dedup across reconnects)
+	mu        sync.Mutex
+	conn      net.Conn // nil until connected
+	gen       int      // bumped on every (re)connection
+	broken    bool     // current conn failed; recovery pending or done
+	replaying bool     // a resume handshake owns the conn until its replay drains
+	lastSeen  time.Time
+	recvSeq   uint32 // highest data seq received (dedup across reconnects)
 
 	sendMu      sync.Mutex  // serializes whole send operations, incl. retries
 	sendSeq     uint32      // data frames sent (guarded by sendMu)
@@ -399,8 +400,7 @@ func DialOptions(rank int, addrs []string, opt Options) (*Comm, error) {
 				errCh <- err
 				return
 			}
-			c.installConn(dst, conn)
-			c.replayUnacked(dst, conn, theirRecv)
+			c.resumeConn(dst, conn, theirRecv)
 		}(dst)
 	}
 	wg.Wait()
@@ -579,6 +579,28 @@ func (c *Comm) dialHandshake(conn net.Conn, dst int) (uint32, error) {
 	return binary.LittleEndian.Uint32(reply[0:4]), nil
 }
 
+// resumeConn installs a fresh connection and replays the unacked frames
+// while holding off concurrent Sends. The hold-off matters for ordering: a
+// Send that slipped a new (higher-seq) frame onto the fresh connection
+// before the replay drained would bump the receiver's watermark past the
+// replayed frames, and its dedup would then drop them as stale duplicates —
+// silently losing frames the sender reported (or will report) as delivered.
+// The connection is installed first so both sides' read loops are up before
+// either side replays; replaying before install could deadlock two peers
+// whose simultaneous replays fill the unread TCP buffers in both directions.
+func (c *Comm) resumeConn(src int, conn net.Conn, theirRecv uint32) {
+	p := c.peers[src]
+	p.mu.Lock()
+	p.replaying = true
+	p.mu.Unlock()
+	c.installConn(src, conn)
+	c.replayUnacked(src, conn, theirRecv)
+	p.mu.Lock()
+	p.replaying = false
+	p.mu.Unlock()
+	c.cond.Broadcast()
+}
+
 // replayUnacked re-sends the retained data frames the peer has not seen
 // (seq > theirRecv) over a fresh connection — the sender half of the
 // resume handshake. Receiver-side dedup keeps redelivery exactly-once.
@@ -710,8 +732,7 @@ func (c *Comm) acceptLoop(ln net.Listener) {
 				return
 			}
 			conn.SetWriteDeadline(time.Time{})
-			c.installConn(src, conn)
-			c.replayUnacked(src, conn, theirRecv)
+			c.resumeConn(src, conn, theirRecv)
 		}(conn)
 	}
 }
@@ -900,8 +921,7 @@ func (c *Comm) recoverPeer(src, gen int, cause error) {
 					conn.Close() // someone else already recovered
 					return
 				}
-				c.installConn(src, conn)
-				c.replayUnacked(src, conn, theirRecv)
+				c.resumeConn(src, conn, theirRecv)
 				c.mReconnects.Add(1)
 				return
 			}
@@ -1113,6 +1133,11 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 		}
 		p.mu.Lock()
 		conn, broken := p.conn, p.broken
+		// A resume handshake owns the fresh connection until its replay
+		// drains (see resumeConn); treat the peer as not-ready and retry.
+		if p.replaying {
+			broken = true
+		}
 		gen := p.gen
 		p.mu.Unlock()
 		if conn == nil || broken {
